@@ -1,0 +1,42 @@
+"""Shared benchmark plumbing.
+
+Each benchmark runs one experiment (one paper table/figure), asserts its
+paper-derived shape checks, writes the rendered artifact to
+``benchmarks/results/<id>.txt`` and reports the wall time through
+pytest-benchmark.  Experiments share the process-wide molecule/profile
+caches in :mod:`repro.experiments.common`, so a full ``pytest benchmarks/
+--benchmark-only`` session computes each expensive intermediate once.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def run_and_record(benchmark, results_dir: Path, experiment_id: str,
+                   **kwargs):
+    """Run ``experiment_id`` once under the benchmark timer, persist its
+    rendered artifact, and return the result."""
+    from repro.experiments import run_experiment
+
+    result = benchmark.pedantic(
+        lambda: run_experiment(experiment_id, **kwargs),
+        rounds=1, iterations=1)
+    artifact = result.render()
+    (results_dir / f"{experiment_id}.txt").write_text(artifact + "\n")
+    print()
+    print(artifact)
+    failed = [name for name, ok in result.checks.items() if not ok]
+    assert not failed, (f"{experiment_id}: paper-shape checks failed: "
+                        f"{failed}")
+    return result

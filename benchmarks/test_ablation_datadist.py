@@ -1,0 +1,10 @@
+"""Bench: ablation E -- data distribution (the paper's future work)."""
+
+from conftest import run_and_record
+
+
+def test_ablation_data_distribution(benchmark, results_dir):
+    result = run_and_record(benchmark, results_dir, "ablE")
+    # At 48 ranks the worst rank holds well under half a replica.
+    last = result.rows[-1]
+    assert last[3] > 2.0

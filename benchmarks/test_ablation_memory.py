@@ -1,0 +1,9 @@
+"""Bench: ablation B -- hybrid vs distributed memory (Section V.B)."""
+
+from conftest import run_and_record
+
+
+def test_ablation_memory(benchmark, results_dir):
+    result = run_and_record(benchmark, results_dir, "ablB")
+    ratio = result.rows[0][1] / result.rows[1][1]
+    assert 4.5 <= ratio <= 6.5  # paper: 8.2 GB / 1.4 GB ~= 5.86

@@ -1,0 +1,7 @@
+"""Bench: ablation C -- octree vs nblist space (Section II)."""
+
+from conftest import run_and_record
+
+
+def test_ablation_nblist(benchmark, results_dir):
+    run_and_record(benchmark, results_dir, "ablC")

@@ -1,0 +1,7 @@
+"""Bench: ablation D -- per-leaf vs dual-tree traversal (Section IV)."""
+
+from conftest import run_and_record
+
+
+def test_ablation_traversal_schemes(benchmark, results_dir):
+    run_and_record(benchmark, results_dir, "ablD")

@@ -1,0 +1,7 @@
+"""Bench: ablation A -- work-division schemes (Section IV.A)."""
+
+from conftest import run_and_record
+
+
+def test_ablation_work_division(benchmark, results_dir):
+    run_and_record(benchmark, results_dir, "ablA")

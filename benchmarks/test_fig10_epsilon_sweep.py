@@ -1,0 +1,9 @@
+"""Bench: regenerate Fig. 10 (error and running time vs eps_Epol)."""
+
+from conftest import run_and_record
+
+
+def test_fig10_epsilon_sweep(benchmark, results_dir):
+    result = run_and_record(benchmark, results_dir, "fig10")
+    assert [row[0] for row in result.rows] == [
+        0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9]

@@ -1,0 +1,14 @@
+"""Bench: regenerate the Fig. 11 table (CMV-shell scalability).
+
+The heaviest bench: real energies on the analogue shell plus
+exactly-counted work on the paper's full 509,640-atom geometry.
+"""
+
+from conftest import run_and_record
+
+
+def test_fig11_cmv_table(benchmark, results_dir):
+    result = run_and_record(benchmark, results_dir, "fig11")
+    programs = [row[0] for row in result.rows]
+    assert "Amber 12" in programs
+    assert any("full 509640" in p for p in programs)

@@ -1,0 +1,10 @@
+"""Bench: regenerate Fig. 5 (speedup vs one node on the BTV analogue)."""
+
+from conftest import run_and_record
+
+
+def test_fig5_speedup(benchmark, results_dir):
+    result = run_and_record(benchmark, results_dir, "fig5")
+    # Both variants retain most of the 12x hardware growth at 144 cores.
+    rows = {row[0]: row for row in result.rows}
+    assert rows[144][2] > 6.0 and rows[144][4] > 6.0

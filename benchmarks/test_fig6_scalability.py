@@ -1,0 +1,8 @@
+"""Bench: regenerate Fig. 6 (min/max envelopes over 20 repetitions)."""
+
+from conftest import run_and_record
+
+
+def test_fig6_scalability(benchmark, results_dir):
+    result = run_and_record(benchmark, results_dir, "fig6")
+    assert len(result.rows) == 8  # 12..240 cores

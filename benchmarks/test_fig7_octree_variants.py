@@ -1,0 +1,10 @@
+"""Bench: regenerate Fig. 7 (OCT_CILK vs OCT_MPI vs OCT_MPI+CILK)."""
+
+from conftest import run_and_record
+
+
+def test_fig7_octree_variants(benchmark, results_dir):
+    result = run_and_record(benchmark, results_dir, "fig7")
+    # Suite spans the paper's full size range incl. both anchors.
+    sizes = [row[1] for row in result.rows]
+    assert min(sizes) == 400 and max(sizes) == 16301

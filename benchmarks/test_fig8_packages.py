@@ -1,0 +1,8 @@
+"""Bench: regenerate Fig. 8 (package running times + speedup vs Amber)."""
+
+from conftest import run_and_record
+
+
+def test_fig8_packages(benchmark, results_dir):
+    result = run_and_record(benchmark, results_dir, "fig8")
+    assert any("11" in note or "x" in note for note in result.notes)

@@ -1,0 +1,11 @@
+"""Bench: regenerate Fig. 9 (energy values per package).
+
+Shares the expensive package sweep with Fig. 8 through the experiment
+cache, so running both costs one sweep.
+"""
+
+from conftest import run_and_record
+
+
+def test_fig9_energy_values(benchmark, results_dir):
+    run_and_record(benchmark, results_dir, "fig9")

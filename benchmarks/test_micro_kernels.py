@@ -1,0 +1,93 @@
+"""Micro-benchmarks of the hot kernels (real wall time, multiple rounds).
+
+Unlike the figure benches (which report *simulated* cluster time), these
+measure the actual NumPy kernels this reproduction runs -- the numbers a
+downstream user optimising the library cares about.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.energy import EnergyContext, approx_epol
+from repro.core.gbmodels import f_gb
+from repro.core.integrals import pair_distance_sq, surface_integral
+from repro.molecule.generators import protein_blob
+from repro.octree.build import build_octree
+from repro.octree.traversal import classify_against_ball
+from repro.parallel.cilk import simulate_work_stealing
+from repro.surface.sas import build_surface
+
+
+@pytest.fixture(scope="module")
+def molecule():
+    return protein_blob(4000, seed=77)
+
+
+@pytest.fixture(scope="module")
+def surface(molecule):
+    return build_surface(molecule, points_per_atom=12)
+
+
+def test_surface_build(benchmark, molecule):
+    """SAS sampling throughput (atoms/second)."""
+    result = benchmark(build_surface, molecule, points_per_atom=12)
+    assert result.npoints > 0
+
+
+def test_octree_build(benchmark, molecule):
+    """Octree construction throughput."""
+    tree = benchmark(build_octree, molecule.positions, leaf_cap=32)
+    assert tree.npoints == len(molecule)
+
+
+def test_pair_distance_gemm(benchmark, rng_pts=None):
+    """The GEMM-based pairwise distance kernel (pairs/second)."""
+    rng = np.random.default_rng(0)
+    a = rng.uniform(0, 50, (2000, 3))
+    b = rng.uniform(0, 50, (2000, 3))
+    r2, _, _ = benchmark(pair_distance_sq, a, b)
+    assert r2.shape == (2000, 2000)
+
+
+def test_surface_integral_kernel(benchmark, molecule, surface):
+    """The exact r^6 Born integral (the near-field workhorse)."""
+    targets = molecule.positions[:512]
+    out = benchmark(surface_integral, surface.points[:4096],
+                    surface.normals[:4096], surface.weights[:4096], targets)
+    assert out.shape == (512,)
+
+
+def test_f_gb_kernel(benchmark):
+    """The STILL f_GB evaluation (exp + sqrt bound)."""
+    rng = np.random.default_rng(1)
+    r2 = rng.uniform(1, 400, (1000, 1000))
+    bp = rng.uniform(1, 25, (1000, 1000))
+    out = benchmark(f_gb, r2, bp)
+    assert out.shape == r2.shape
+
+
+def test_mac_classification(benchmark, molecule):
+    """One vectorised frontier walk against a 4000-atom tree."""
+    tree = build_octree(molecule.positions, leaf_cap=32)
+    center = molecule.centroid + 5.0
+    cls = benchmark(classify_against_ball, tree, center, 2.0, 3.2)
+    assert cls.nodes_visited > 0
+
+
+def test_work_stealing_sim(benchmark):
+    """Discrete-event schedule of 5,000 tasks on 12 workers."""
+    rng = np.random.default_rng(2)
+    costs = rng.uniform(1e-6, 5e-5, 5000)
+    result = benchmark(simulate_work_stealing, costs, 12, seed=3)
+    assert result.makespan > 0
+
+
+def test_energy_traversal(benchmark, molecule, surface):
+    """Full APPROX-EPOL over a 4000-atom molecule (real kernels)."""
+    from repro.core.born import AtomTreeData
+    from repro.core.naive import naive_born_radii
+    atoms = AtomTreeData.build(molecule, leaf_cap=32)
+    born_sorted = naive_born_radii(molecule, surface)[atoms.tree.perm]
+    ctx = EnergyContext.build(atoms, born_sorted, 0.9)
+    partial = benchmark(approx_epol, ctx, atoms.tree.leaves, 0.9)
+    assert partial.pair_sum != 0.0

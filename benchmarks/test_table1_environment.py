@@ -1,0 +1,7 @@
+"""Bench: regenerate Table I (simulation environment)."""
+
+from conftest import run_and_record
+
+
+def test_table1_environment(benchmark, results_dir):
+    run_and_record(benchmark, results_dir, "table1")

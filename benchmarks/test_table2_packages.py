@@ -1,0 +1,7 @@
+"""Bench: regenerate Table II (packages, GB models, parallelism)."""
+
+from conftest import run_and_record
+
+
+def test_table2_packages(benchmark, results_dir):
+    run_and_record(benchmark, results_dir, "table2")

@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Hybrid vs distributed parallelism on the simulated Lonestar4 cluster.
+
+Reproduces the paper's central systems experiment interactively: the same
+octree GB computation run as OCT_CILK (one process, 12 work-stealing
+threads), OCT_MPI (12 single-thread ranks per node) and OCT_MPI+CILK (one
+6-thread rank per socket), from one node up to the paper's twelve.
+
+All numerics execute for real once; the layouts are then scheduled
+through the simulated MPI engine and the work-stealing scheduler (see
+DESIGN.md for the substitution argument).
+
+Run:  python examples/cluster_simulation.py [natoms]
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro import PolarizationEnergyCalculator, cmv_analogue
+from repro.analysis import render_table
+from repro.parallel import ParallelRunConfig, run_variant
+
+
+def main() -> None:
+    natoms = int(sys.argv[1]) if len(sys.argv) > 1 else 24_000
+    molecule = cmv_analogue(scale=natoms / 509_640, seed=5)
+    print(f"input: {molecule.name} ({len(molecule)} atoms, virus-shell "
+          f"analogue)")
+
+    calc = PolarizationEnergyCalculator(molecule)
+    t0 = time.perf_counter()
+    calc.profile()
+    print(f"pipeline executed once in {time.perf_counter() - t0:.1f} s "
+          f"(E_pol = {calc.profile().energy:.0f} kcal/mol); layouts below "
+          f"are scheduled from the cached work profile\n")
+
+    config = ParallelRunConfig(seed=1)
+
+    # --- one node: the three variants of Table II ---------------------
+    rows = []
+    for variant in ("OCT_CILK", "OCT_MPI", "OCT_MPI+CILK"):
+        r = run_variant(calc, variant, cores=12, config=config)
+        rows.append([variant, r.sim_seconds,
+                     r.node_bytes / 1e9, r.steals])
+    print(render_table(
+        ["variant", "sim time (s)", "node mem (GB)", "steals"], rows,
+        title="one 12-core node"))
+
+    # --- scaling out: 1..12 nodes --------------------------------------
+    rows = []
+    base = {}
+    for cores in (12, 24, 48, 96, 144):
+        row = [cores]
+        for variant in ("OCT_MPI", "OCT_MPI+CILK"):
+            r = run_variant(calc, variant, cores=cores, config=config)
+            base.setdefault(variant, r.sim_seconds)
+            row.extend([r.sim_seconds, base[variant] / r.sim_seconds])
+        rows.append(row)
+    print()
+    print(render_table(
+        ["cores", "OCT_MPI (s)", "speedup", "OCT_MPI+CILK (s)", "speedup"],
+        rows, title="scaling out (speedup vs each variant's one-node time)"))
+
+    print("\nNote the paper's signatures: pure MPI holds a small edge at "
+          "low node counts,\nthe hybrid closes in as communication and "
+          "memory replication grow, and its\nnode memory stays ~6x lower "
+          "throughout.")
+
+
+if __name__ == "__main__":
+    main()

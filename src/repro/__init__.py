@@ -1,0 +1,38 @@
+"""repro: octree-based hybrid-parallel GB polarization energy.
+
+A full reproduction of Tithi & Chowdhury, *Polarization Energy on a Cluster
+of Multicores* (SC 2012): the surface-based r^6 Generalized-Born algorithm,
+its distributed / distributed-shared parallelisations (on simulated MPI and
+work-stealing substrates), the five baseline packages it is compared
+against, and a benchmark harness regenerating every figure and table of the
+paper's evaluation.  See DESIGN.md for the system inventory.
+"""
+
+from .core import (ApproximationParams, EpolResult, GBModel,
+                   PolarizationEnergyCalculator, compute_polarization_energy,
+                   naive_reference, percent_error)
+from .molecule import (Molecule, btv_analogue, cmv_analogue, from_arrays,
+                       protein_blob, read_pdb, read_pqr, two_body_complex)
+from .surface import SurfaceQuadrature, build_surface
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ApproximationParams",
+    "EpolResult",
+    "GBModel",
+    "Molecule",
+    "PolarizationEnergyCalculator",
+    "SurfaceQuadrature",
+    "btv_analogue",
+    "build_surface",
+    "cmv_analogue",
+    "compute_polarization_energy",
+    "from_arrays",
+    "naive_reference",
+    "percent_error",
+    "protein_blob",
+    "read_pdb",
+    "read_pqr",
+    "two_body_complex",
+]

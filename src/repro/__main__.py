@@ -1,0 +1,61 @@
+"""Command-line entry point: regenerate the paper's evaluation artifacts.
+
+Usage::
+
+    python -m repro list                 # available experiment ids
+    python -m repro run fig8             # regenerate one table/figure
+    python -m repro run all              # everything, in paper order
+    python -m repro run fig5 --full      # full (non-quick) molecule suite
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+
+def main(argv: list[str] | None = None) -> int:
+    from repro.experiments import all_ids, run_experiment
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate tables/figures from 'Polarization Energy "
+                    "on a Cluster of Multicores' (SC 2012).")
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list experiment ids")
+    run_p = sub.add_parser("run", help="run one experiment (or 'all')")
+    run_p.add_argument("experiment", help="experiment id, e.g. fig8, or 'all'")
+    run_p.add_argument("--full", action="store_true",
+                       help="use the full 84-molecule suite where the "
+                            "experiment samples it (slow)")
+    run_p.add_argument("--seed", type=int, default=None,
+                       help="override the experiment seed")
+    args = parser.parse_args(argv)
+
+    if args.command == "list":
+        for eid in all_ids():
+            print(eid)
+        return 0
+
+    ids = all_ids() if args.experiment == "all" else [args.experiment]
+    exit_code = 0
+    for eid in ids:
+        kwargs = {}
+        if args.full and eid in ("fig7", "fig8", "fig9", "fig10"):
+            kwargs["quick"] = False
+        if args.seed is not None:
+            kwargs["seed"] = args.seed
+        t0 = time.perf_counter()
+        result = run_experiment(eid, **kwargs)
+        print(result.render())
+        print(f"[{eid}] {time.perf_counter() - t0:.1f} s, checks "
+              f"{'all pass' if result.all_checks_pass() else 'FAILED'}")
+        print()
+        if not result.all_checks_pass():
+            exit_code = 1
+    return exit_code
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,15 @@
+"""Result analysis: speedups, series, crossovers, table rendering."""
+
+from .metrics import (Series, crossover_x, geometric_mean,
+                      parallel_efficiency, speedup)
+from .tables import format_cell, render_table
+
+__all__ = [
+    "Series",
+    "crossover_x",
+    "format_cell",
+    "geometric_mean",
+    "parallel_efficiency",
+    "render_table",
+    "speedup",
+]

@@ -1,0 +1,64 @@
+"""Speedup/efficiency summaries used by the experiment harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def speedup(reference_seconds: float, seconds: float) -> float:
+    """``reference / measured`` (how many times faster than reference)."""
+    if seconds <= 0:
+        raise ValueError("seconds must be positive")
+    return reference_seconds / seconds
+
+
+def parallel_efficiency(t1: float, tp: float, cores: int) -> float:
+    """``T_1 / (p * T_p)``."""
+    if tp <= 0 or cores < 1:
+        raise ValueError("invalid inputs")
+    return t1 / (cores * tp)
+
+
+@dataclass(frozen=True)
+class Series:
+    """One labelled (x, y) series of an experiment figure."""
+
+    label: str
+    x: tuple[float, ...]
+    y: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.x) != len(self.y):
+            raise ValueError("x and y must have equal length")
+
+    @classmethod
+    def build(cls, label: str, x, y) -> "Series":
+        return cls(label, tuple(float(v) for v in x),
+                   tuple(float(v) for v in y))
+
+    def min_y(self) -> float:
+        return min(self.y)
+
+    def max_y(self) -> float:
+        return max(self.y)
+
+
+def crossover_x(a: Series, b: Series) -> float | None:
+    """The first x past which series ``a`` stays at or below ``b``
+    (linear scan on the shared grid); None if never."""
+    if a.x != b.x:
+        raise ValueError("series must share an x grid")
+    for i in range(len(a.x)):
+        if all(ya <= yb for ya, yb in zip(a.y[i:], b.y[i:])):
+            return a.x[i]
+    return None
+
+
+def geometric_mean(values) -> float:
+    """Geometric mean of positive values."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0 or np.any(arr <= 0):
+        raise ValueError("values must be positive and non-empty")
+    return float(np.exp(np.mean(np.log(arr))))

@@ -1,0 +1,43 @@
+"""Fixed-width table rendering for benchmark output.
+
+The benchmark harness regenerates the paper's tables/figures as printed
+rows; this renderer keeps them legible in pytest output and in the
+EXPERIMENTS.md transcripts.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+
+def format_cell(value: Any) -> str:
+    """Human formatting: seconds with sensible precision, floats trimmed."""
+    if isinstance(value, float):
+        if value != value:  # nan
+            return "--"
+        if value == float("inf"):
+            return "OOM"
+        if abs(value) >= 1000 or (abs(value) < 0.01 and value != 0):
+            return f"{value:.3g}"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[Any]],
+                 *, title: str | None = None) -> str:
+    """Render an aligned fixed-width text table."""
+    cells = [[format_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match headers")
+        for i, c in enumerate(row):
+            widths[i] = max(widths[i], len(c))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

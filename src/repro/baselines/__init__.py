@@ -1,0 +1,34 @@
+"""Reimplementations of the five comparator packages (Table II)."""
+
+from .amber import Amber
+from .base import (BaselineOOMError, BaselinePackage, BaselineResult,
+                   PerfModel, pairwise_energy)
+from .gbr6 import GBr6, volume_r6_born_radii
+from .gromacs import Gromacs
+from .namd import NAMD
+from .nblist import (NeighborList, build_nblist, expected_pairs_per_atom,
+                     max_feasible_cutoff, nblist_bytes_model)
+from .tinker import Tinker
+
+#: All comparator packages in the paper's Table II order.
+ALL_PACKAGES = (Gromacs, NAMD, Amber, Tinker, GBr6)
+
+__all__ = [
+    "ALL_PACKAGES",
+    "Amber",
+    "BaselineOOMError",
+    "BaselinePackage",
+    "BaselineResult",
+    "GBr6",
+    "Gromacs",
+    "NAMD",
+    "NeighborList",
+    "PerfModel",
+    "Tinker",
+    "build_nblist",
+    "expected_pairs_per_atom",
+    "max_feasible_cutoff",
+    "nblist_bytes_model",
+    "pairwise_energy",
+    "volume_r6_born_radii",
+]

@@ -1,0 +1,54 @@
+"""Amber-12-like baseline: HCT Generalized Born over MPI.
+
+Amber 12's ``igb=1`` GB is the HCT pairwise-descreening model, run
+all-pairs (Amber's GB default is an effectively unbounded cutoff), MPI
+distributed by atom decomposition.  The time model's ``t_pair`` reflects
+the HCT integral's log/branch-heavy inner loop plus general MD-package
+plumbing; one constant, calibrated against the Fig. 8 anchor (OCT_MPI
+~11x at 16,301 atoms on 12 cores), simultaneously lands the Fig. 11
+anchor -- all-pairs N^2 growth puts full-CMV Amber at ~45 min on 12
+cores, right beside the paper's measured 39 min.  The memory model is
+linear with per-rank replication, which is why Amber -- unlike
+Tinker/GBr6 -- survives the CMV shell.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.gbmodels import hct_born_radii
+from ..core.params import GBModel
+from ..molecule.molecule import Molecule
+from ..runtime.instrument import WorkCounters
+from .base import BaselinePackage, PerfModel
+
+#: Modelled per-atom resident bytes of one Amber MPI rank.
+BYTES_PER_ATOM = 520
+#: Fixed per-rank heap/code bytes.
+BASE_BYTES = 5.5e7
+
+
+class Amber(BaselinePackage):
+    """Amber 12 (HCT, distributed MPI)."""
+
+    name = "Amber 12"
+    gb_model = GBModel.HCT
+    parallelism = "distributed"
+    perf = PerfModel(
+        setup_seconds=0.25,
+        t_pair=5.3e-8,
+        parallel_efficiency=0.85,
+        # "At present, Amber does not support concurrent execution of more
+        # than 256 cores" (Section V.F footnote).
+        max_cores=256,
+    )
+
+    def born_radii(self, molecule: Molecule,
+                   counters: WorkCounters) -> np.ndarray:
+        return hct_born_radii(molecule, counters=counters)
+
+    def memory_bytes(self, natoms: int, cores: int) -> float:
+        # Replication is per rank, but the OOM constraint is per node:
+        # at most cores_per_node replicas share one node's RAM.
+        replicas = min(cores, self.machine.cores_per_node)
+        return replicas * (BASE_BYTES + BYTES_PER_ATOM * natoms)

@@ -1,0 +1,102 @@
+"""GBr6-like baseline: volume-based r^6 Born radii, serial.
+
+GBr6 (Tjong & Zhou 2007) is the paper's closest methodological relative:
+it also uses the r^6 Coulomb-field-corrected Born integral, but evaluated
+over the molecular *volume* instead of the surface::
+
+    1/R_i^3 = 1/rho_i^3 - (3/4pi) sum_{j != i} Integral_{V_j} |r - x_i|^-6 dV
+
+We evaluate the per-sphere integral with its far-field closed form
+``V_j / (d^2 - a_j^2)^3`` (exact leading order, finite-size corrected by
+the ``-a^2`` shift), clamping overlapping pairs -- the standard pairwise
+volume-integration treatment.
+
+GBr6 is serial and allocates quadratic work arrays; the paper saw it run
+out of memory above ~13k atoms (Fig. 9) and on CMV (Fig. 11), and beat
+12-core Amber only on the smallest inputs (max speedup 1.14, Fig. 8b).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..constants import FOUR_PI
+from ..core.params import GBModel
+from ..molecule.molecule import Molecule
+from ..runtime.instrument import WorkCounters
+from .base import BaselinePackage, PerfModel
+
+#: Quadratic allocation coefficient: crosses 24 GB at ~13.3k atoms.
+BYTES_PER_PAIR_SQ = 136.0
+BASE_BYTES = 2.0e7
+
+#: Pair-block edge for the volume integral sweep.
+BLOCK = 256
+
+#: Volume-overlap correction, calibrated on protein-density synthetic
+#: packings so the volume sum tracks the exterior-volume integral it
+#: approximates (pairwise spheres double-count overlap volume); with it,
+#: GBr6's energies match the naive surface-r^6 reference closely, as the
+#: paper's Fig. 9 observed.
+OVERLAP_SCALE = 1.3
+
+
+def volume_r6_born_radii(molecule: Molecule, *,
+                         scale: float = OVERLAP_SCALE,
+                         counters: WorkCounters | None = None) -> np.ndarray:
+    """Volume-based r^6 Born radii (GBr6's integral, pairwise-sphere
+    approximation)."""
+    pos = molecule.positions
+    n = len(molecule)
+    radii = molecule.radii
+    vol = FOUR_PI / 3.0 * radii ** 3
+    inv_r3 = 1.0 / radii ** 3
+    total = np.zeros(n)
+    for s in range(0, n, BLOCK):
+        e = min(s + BLOCK, n)
+        diff = pos[None, :, :] - pos[s:e, None, :]
+        d2 = np.einsum("ijx,ijx->ij", diff, diff)
+        a2 = (radii ** 2)[None, :]
+        # Far-field closed form; floor the denominator at contact
+        # separation so a fused neighbour's descreening saturates instead
+        # of diverging.
+        floor = (radii[s:e, None] + radii[None, :]) ** 2 - a2
+        denom = np.maximum(d2 - a2, floor)
+        contrib = vol[None, :] / denom ** 3
+        mask = np.ones_like(contrib, dtype=bool)
+        mask[np.arange(e - s), np.arange(s, e)] = False
+        total[s:e] = np.where(mask, contrib, 0.0).sum(axis=1)
+        if counters is not None:
+            counters.exact_pairs += (e - s) * n
+    inv_R3 = inv_r3 - scale * (3.0 / FOUR_PI) * total
+    # Clamp like every production GB code: R in [rho, 50 * max radius].
+    upper = 1.0 / radii ** 3
+    lower = 1.0 / (50.0 * radii.max()) ** 3
+    inv_R3 = np.clip(inv_R3, lower, upper)
+    return inv_R3 ** (-1.0 / 3.0)
+
+
+class GBr6(BaselinePackage):
+    """GBr6 (volume r^6, serial)."""
+
+    name = "GBr6"
+    gb_model = GBModel.R6_VOLUME
+    parallelism = "serial"
+    perf = PerfModel(
+        setup_seconds=0.2,
+        t_pair=1.3e-8,
+        parallel_efficiency=1.0,
+        max_cores=1,
+    )
+
+    def born_radii(self, molecule: Molecule,
+                   counters: WorkCounters) -> np.ndarray:
+        return volume_r6_born_radii(molecule, counters=counters)
+
+    def memory_bytes(self, natoms: int, cores: int) -> float:
+        return BASE_BYTES + BYTES_PER_PAIR_SQ * float(natoms) * natoms
+
+    def max_atoms(self) -> int:
+        """Largest molecule fitting node RAM (paper: ~13k atoms)."""
+        return int(((self.machine.ram_bytes - BASE_BYTES)
+                    / BYTES_PER_PAIR_SQ) ** 0.5)

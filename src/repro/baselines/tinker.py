@@ -1,0 +1,54 @@
+"""Tinker-6.0-like baseline: Still-1990 Generalized Born, OpenMP shared.
+
+Tinker's GB/SA lineage is Still's original model: Born radii from volume
+descreening (:func:`~repro.core.gbmodels.still_volume_born_radii`), which
+systematically under-descreens buried atoms relative to the surface-r^6
+reference -- the mechanism behind the paper's Fig. 9 observation that
+"energy values reported by Tinker were around 70% of the naive energy".
+
+Tinker is shared-memory only (OpenMP, max one node) and allocates
+quadratic per-pair work arrays, reproducing the paper's out-of-memory
+failures for molecules above ~12k atoms (Fig. 9) and on CMV (Fig. 11).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.gbmodels import still_volume_born_radii
+from ..core.params import GBModel
+from ..molecule.molecule import Molecule
+from ..runtime.instrument import WorkCounters
+from .base import BaselinePackage, PerfModel
+
+#: Quadratic allocation coefficient (bytes per atom pair): calibrated so
+#: the modelled footprint crosses 24 GB at ~12.3k atoms, the failure size
+#: the paper observed.
+BYTES_PER_PAIR_SQ = 158.0
+BASE_BYTES = 3.0e7
+
+
+class Tinker(BaselinePackage):
+    """Tinker 6.0 (STILL, shared-memory OpenMP)."""
+
+    name = "Tinker 6.0"
+    gb_model = GBModel.STILL
+    parallelism = "shared"
+    perf = PerfModel(
+        setup_seconds=0.12,
+        t_pair=3.1e-8,
+        parallel_efficiency=0.80,
+        max_cores=12,  # one node; OpenMP only
+    )
+
+    def born_radii(self, molecule: Molecule,
+                   counters: WorkCounters) -> np.ndarray:
+        return still_volume_born_radii(molecule, counters=counters)
+
+    def memory_bytes(self, natoms: int, cores: int) -> float:
+        return BASE_BYTES + BYTES_PER_PAIR_SQ * float(natoms) * natoms
+
+    def max_atoms(self) -> int:
+        """Largest molecule fitting node RAM (paper: ~12k atoms)."""
+        return int(((self.machine.ram_bytes - BASE_BYTES)
+                    / BYTES_PER_PAIR_SQ) ** 0.5)

@@ -1,0 +1,58 @@
+"""Physical constants and unit conventions used throughout the package.
+
+Units follow the conventions of classical molecular-mechanics GB codes
+(Amber, Tinker): lengths in Angstroms, charges in units of the elementary
+charge ``e``, energies in kcal/mol.
+"""
+
+from __future__ import annotations
+
+import math
+
+#: Coulomb constant in (kcal/mol) * Angstrom / e^2.  This is the familiar
+#: 332.06... factor of molecular mechanics: the electrostatic energy of two
+#: unit charges one Angstrom apart.
+COULOMB_KCAL: float = 332.0636
+
+#: Dielectric constant of water at room temperature -- the default solvent
+#: dielectric used by Amber/Tinker GB implementations and by the paper.
+EPSILON_WATER: float = 80.0
+
+#: Dielectric constant of the molecular interior (gas phase reference).
+EPSILON_INTERIOR: float = 1.0
+
+#: Probe radius (Angstrom) for the solvent-accessible surface: the radius of
+#: a water molecule, the standard Lee-Richards probe.
+WATER_PROBE_RADIUS: float = 1.4
+
+#: 4*pi, the solid angle of the full sphere; appears in the Coulomb-field
+#: approximation normalisation (Eqs. 3 and 4 of the paper).
+FOUR_PI: float = 4.0 * math.pi
+
+#: Numerical floor for Born radii (Angstrom).  The paper clamps the Born
+#: radius from below by the intrinsic atomic radius; this is an absolute
+#: safety floor against degenerate quadratures.
+MIN_BORN_RADIUS: float = 1e-3
+
+
+def gb_prefactor(epsilon_solvent: float = EPSILON_WATER,
+                 epsilon_interior: float = EPSILON_INTERIOR) -> float:
+    """Return the GB energy prefactor ``-1/2 * (1/eps_in - 1/eps_solv) * k_e``.
+
+    Equation 2 of the paper writes ``E_pol = 1/2 (1 - 1/eps_solv) sum q_i q_j
+    / f_ij`` with an implicit minus sign absorbed into the convention (the
+    text notes E_pol is "typically negative").  We keep the sign explicit:
+    the returned prefactor is negative for ``epsilon_solvent > 1``, so that
+    ``E_pol = prefactor * sum_ij q_i q_j / f_ij`` is negative for any
+    non-trivially charged molecule.
+
+    Parameters
+    ----------
+    epsilon_solvent:
+        Solvent dielectric constant (80 for water).
+    epsilon_interior:
+        Interior/reference dielectric constant (1 for vacuum).
+    """
+    if epsilon_solvent <= 0 or epsilon_interior <= 0:
+        raise ValueError("dielectric constants must be positive")
+    return -0.5 * COULOMB_KCAL * (1.0 / epsilon_interior - 1.0 / epsilon_solvent)

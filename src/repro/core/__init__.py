@@ -1,0 +1,60 @@
+"""The paper's core contribution: octree-approximated GB polarization energy."""
+
+from .binning import BornBinning, build_binning
+from .born import (AtomTreeData, BornPartial, QuadTreeData, approx_integrals,
+                   born_radii_octree, push_integrals_to_atoms)
+from .counting import (count_born_work, count_epol_work,
+                       shell_surface_points)
+from .driver import (EpolResult, PolarizationEnergyCalculator,
+                     compute_polarization_energy)
+from .dualtree import dual_tree_born_radii, dual_tree_integrals
+from .energy import (EnergyContext, EpolPartial, approx_epol,
+                     epol_from_pair_sum, epol_octree)
+from .error import ErrorSummary, percent_error, radii_relative_error
+from .gbmodels import (f_gb, hct_born_radii, hct_descreening_integral,
+                       obc_born_radii, still_volume_born_radii)
+from .integrals import (born_radius_from_integral, pairwise_r6_exact,
+                        surface_integral)
+from .naive import NaiveResult, naive_born_radii, naive_epol, naive_reference
+from .params import ApproximationParams, GBModel
+
+__all__ = [
+    "ApproximationParams",
+    "AtomTreeData",
+    "BornBinning",
+    "BornPartial",
+    "EnergyContext",
+    "EpolPartial",
+    "EpolResult",
+    "ErrorSummary",
+    "GBModel",
+    "NaiveResult",
+    "PolarizationEnergyCalculator",
+    "QuadTreeData",
+    "approx_epol",
+    "approx_integrals",
+    "born_radii_octree",
+    "born_radius_from_integral",
+    "build_binning",
+    "compute_polarization_energy",
+    "count_born_work",
+    "count_epol_work",
+    "dual_tree_born_radii",
+    "dual_tree_integrals",
+    "epol_from_pair_sum",
+    "epol_octree",
+    "f_gb",
+    "hct_born_radii",
+    "hct_descreening_integral",
+    "naive_born_radii",
+    "naive_epol",
+    "naive_reference",
+    "obc_born_radii",
+    "pairwise_r6_exact",
+    "percent_error",
+    "push_integrals_to_atoms",
+    "radii_relative_error",
+    "shell_surface_points",
+    "still_volume_born_radii",
+    "surface_integral",
+]

@@ -1,0 +1,82 @@
+"""Born-radius charge binning for the far-field energy rule (Fig. 3).
+
+The energy far-field approximation cannot treat a whole node as one point
+charge, because ``f_GB`` depends on the Born radii of the interacting
+atoms.  The paper's fix: bin each node's charge by Born radius into
+``M_eps = log_{1+eps}(R_max / R_min)`` geometric bins, and evaluate
+``f_GB`` once per *bin pair* using the representative radius product
+``R_min^2 (1+eps)^{i+j}``.  Within a bin, radii differ by at most a factor
+``(1+eps)``, bounding the per-term error.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Hard cap on the bin count; protects memory for extreme eps. The cap is
+#: only reached for eps far below anything the paper sweeps (<0.01), where
+#: the energy MAC multiplier (1 + 2/eps) is so strict that far-field terms
+#: barely fire anyway.
+MAX_BINS = 256
+
+
+@dataclass(frozen=True)
+class BornBinning:
+    """A geometric binning of Born radii.
+
+    Attributes
+    ----------
+    r_min / r_max:
+        Extreme Born radii over all atoms.
+    base:
+        Geometric bin ratio (``1 + eps`` unless capped).
+    nbins:
+        Number of bins ``M_eps``.
+    bin_index:
+        ``(N,)`` bin of each atom (same order as the input radii).
+    """
+
+    r_min: float
+    r_max: float
+    base: float
+    nbins: int
+    bin_index: np.ndarray
+
+    def pair_radius_sq(self) -> np.ndarray:
+        """``(nbins, nbins)`` representative ``R_i * R_j`` products:
+        ``r_min^2 * base^(i+j)`` (Fig. 3, step 2)."""
+        i = np.arange(self.nbins)
+        return (self.r_min ** 2) * self.base ** (i[:, None] + i[None, :])
+
+
+def build_binning(born_radii: np.ndarray, eps: float) -> BornBinning:
+    """Bin ``born_radii`` geometrically with ratio ``1 + eps``.
+
+    Degenerate inputs (all radii equal) get a single bin.  If the implied
+    bin count exceeds :data:`MAX_BINS` the base is widened to fit (slightly
+    coarser than the paper asks for, at eps values the paper never uses).
+    """
+    if eps <= 0:
+        raise ValueError("eps must be positive")
+    radii = np.asarray(born_radii, dtype=np.float64)
+    if radii.ndim != 1 or radii.size == 0:
+        raise ValueError("born_radii must be a non-empty 1-D array")
+    if np.any(radii <= 0):
+        raise ValueError("born radii must be positive")
+    r_min = float(radii.min())
+    r_max = float(radii.max())
+    if r_max <= r_min * (1.0 + 1e-12):
+        return BornBinning(r_min, r_max, 1.0 + eps, 1,
+                           np.zeros(radii.shape, dtype=np.int64))
+    base = 1.0 + eps
+    nbins = int(math.ceil(math.log(r_max / r_min) / math.log(base)))
+    nbins = max(nbins, 1)
+    if nbins > MAX_BINS:
+        nbins = MAX_BINS
+        base = (r_max / r_min) ** (1.0 / nbins)
+    idx = np.floor(np.log(radii / r_min) / math.log(base)).astype(np.int64)
+    idx = np.clip(idx, 0, nbins - 1)
+    return BornBinning(r_min, r_max, base, nbins, idx)

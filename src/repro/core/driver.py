@@ -1,0 +1,239 @@
+"""High-level public API: :class:`PolarizationEnergyCalculator`.
+
+This is the entry point a downstream user should reach for::
+
+    from repro import PolarizationEnergyCalculator, protein_blob
+
+    mol = protein_blob(5000, seed=1)
+    calc = PolarizationEnergyCalculator(mol)
+    result = calc.run()
+    print(result.energy, "kcal/mol")
+
+It wires together surface sampling, octree construction, the Born-radii
+traversal and the energy traversal -- the serial (OCT_CILK-algorithm)
+pipeline.  The distributed variants live in :mod:`repro.parallel.hybrid`
+and reuse this object's prepared state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..molecule.molecule import Molecule
+from ..runtime.instrument import WorkCounters
+from ..surface.sas import SurfaceQuadrature, build_surface
+from .born import (AtomTreeData, BornPartial, QuadTreeData, approx_integrals,
+                   push_integrals_to_atoms)
+from .energy import (EnergyContext, approx_epol, epol_from_pair_sum)
+from .error import percent_error
+from .naive import naive_reference
+from .params import ApproximationParams
+
+
+@dataclass
+class EpolResult:
+    """Result of a polarization-energy computation.
+
+    Attributes
+    ----------
+    energy:
+        GB polarization energy, kcal/mol.
+    born_radii:
+        ``(N,)`` Born radii in original atom order.
+    born_counters / energy_counters:
+        Work counters for the two traversal phases (inputs to the timing
+        models).
+    params:
+        The approximation parameters used.
+    molecule_name / natoms / nqpoints:
+        Provenance.
+    """
+
+    energy: float
+    born_radii: np.ndarray
+    born_counters: WorkCounters
+    energy_counters: WorkCounters
+    params: ApproximationParams
+    molecule_name: str
+    natoms: int
+    nqpoints: int
+
+
+@dataclass
+class RunProfile:
+    """A fully executed pipeline plus per-leaf work profiles.
+
+    The per-leaf counters are *partition-invariant*: each leaf's traversal
+    classifies against the same tree regardless of which rank owns it.
+    The parallel runners therefore schedule these cached profiles instead
+    of re-executing the kernels for every layout under study.
+    """
+
+    born_per_leaf: list[WorkCounters]
+    energy_per_leaf: list[WorkCounters]
+    born_sorted: np.ndarray
+    born_counters: WorkCounters
+    energy_counters: WorkCounters
+    pair_sum: float
+    energy: float
+
+
+@dataclass
+class PolarizationEnergyCalculator:
+    """Computes GB polarization energy with the paper's octree algorithm.
+
+    Construction is lazy: the surface and octrees are built on first use
+    and cached, matching the paper's treatment of octree construction as a
+    reusable pre-processing step (Section IV.C).
+
+    Attributes
+    ----------
+    molecule:
+        Input molecule.
+    params:
+        Approximation parameters.
+    surface:
+        Optional pre-built surface quadrature (else sampled on demand).
+    """
+
+    molecule: Molecule
+    params: ApproximationParams = field(default_factory=ApproximationParams)
+    surface: SurfaceQuadrature | None = None
+    _atoms: AtomTreeData | None = field(default=None, repr=False)
+    _quad: QuadTreeData | None = field(default=None, repr=False)
+    _born_sorted: np.ndarray | None = field(default=None, repr=False)
+    _born_counters: WorkCounters | None = field(default=None, repr=False)
+    _profile: RunProfile | None = field(default=None, repr=False)
+
+    # ------------------------------------------------------------------
+    # prepared state
+    # ------------------------------------------------------------------
+    def prepare_surface(self) -> SurfaceQuadrature:
+        """Sample (or return the cached) molecular surface."""
+        if self.surface is None:
+            self.surface = build_surface(
+                self.molecule, points_per_atom=self.params.points_per_atom)
+        return self.surface
+
+    def atom_tree(self) -> AtomTreeData:
+        """Build (or return the cached) atoms octree bundle."""
+        if self._atoms is None:
+            self._atoms = AtomTreeData.build(self.molecule,
+                                             leaf_cap=self.params.leaf_cap)
+        return self._atoms
+
+    def quad_tree(self) -> QuadTreeData:
+        """Build (or return the cached) quadrature-points octree bundle."""
+        if self._quad is None:
+            self._quad = QuadTreeData.build(self.prepare_surface(),
+                                            leaf_cap=self.params.quad_leaf_cap)
+        return self._quad
+
+    # ------------------------------------------------------------------
+    # phases
+    # ------------------------------------------------------------------
+    def profile(self) -> RunProfile:
+        """Execute the full pipeline once, capturing per-leaf work profiles
+        (cached; see :class:`RunProfile`)."""
+        if self._profile is None:
+            atoms = self.atom_tree()
+            quad = self.quad_tree()
+            born_per_leaf: list[WorkCounters] = []
+            partial = approx_integrals(atoms, quad, quad.tree.leaves,
+                                       self.params.eps_born,
+                                       mac_variant=self.params.born_mac_variant,
+                                       per_leaf=born_per_leaf)
+            born_sorted = push_integrals_to_atoms(
+                atoms, partial,
+                max_radius=2.0 * self.molecule.bounding_radius)
+            self._born_sorted = born_sorted
+            self._born_counters = partial.counters.copy()
+            ectx = EnergyContext.build(atoms, born_sorted,
+                                       self.params.eps_epol)
+            energy_per_leaf: list[WorkCounters] = []
+            epartial = approx_epol(ectx, atoms.tree.leaves,
+                                   self.params.eps_epol,
+                                   per_leaf=energy_per_leaf)
+            self._profile = RunProfile(
+                born_per_leaf=born_per_leaf,
+                energy_per_leaf=energy_per_leaf,
+                born_sorted=born_sorted,
+                born_counters=partial.counters,
+                energy_counters=epartial.counters,
+                pair_sum=epartial.pair_sum,
+                energy=epol_from_pair_sum(
+                    epartial.pair_sum,
+                    epsilon_solvent=self.params.epsilon_solvent),
+            )
+        return self._profile
+
+    def born_radii(self) -> np.ndarray:
+        """Born radii in original atom order (cached after first call)."""
+        if self._born_sorted is None:
+            self.profile()
+        assert self._born_sorted is not None
+        return self.atom_tree().to_original_order(self._born_sorted)
+
+    def born_partial(self, q_leaves: np.ndarray) -> BornPartial:
+        """One rank's share of the Born phase (used by the parallel
+        runners); see :func:`repro.core.born.approx_integrals`."""
+        return approx_integrals(self.atom_tree(), self.quad_tree(),
+                                q_leaves, self.params.eps_born,
+                                mac_variant=self.params.born_mac_variant)
+
+    def energy_context(self) -> EnergyContext:
+        """Energy-phase context (tree + binned charge histograms)."""
+        self.born_radii()  # ensures _born_sorted
+        assert self._born_sorted is not None
+        return EnergyContext.build(self.atom_tree(), self._born_sorted,
+                                   self.params.eps_epol)
+
+    def run(self) -> EpolResult:
+        """Execute the full pipeline and return an :class:`EpolResult`."""
+        prof = self.profile()
+        return EpolResult(
+            energy=prof.energy,
+            born_radii=self.born_radii(),
+            born_counters=prof.born_counters.copy(),
+            energy_counters=prof.energy_counters.copy(),
+            params=self.params,
+            molecule_name=self.molecule.name,
+            natoms=len(self.molecule),
+            nqpoints=self.prepare_surface().npoints,
+        )
+
+    # ------------------------------------------------------------------
+    # validation
+    # ------------------------------------------------------------------
+    def compare_with_naive(self) -> dict[str, float]:
+        """Run both the octree pipeline and the naive reference; return
+        energies and the signed percent error (paper's accuracy metric)."""
+        result = self.run()
+        ref = naive_reference(self.molecule, self.prepare_surface(),
+                              epsilon_solvent=self.params.epsilon_solvent)
+        return {
+            "octree_energy": result.energy,
+            "naive_energy": ref.energy,
+            "percent_error": percent_error(result.energy, ref.energy),
+        }
+
+
+def compute_polarization_energy(molecule: Molecule, *,
+                                eps_born: float | None = None,
+                                eps_epol: float | None = None,
+                                **param_overrides) -> EpolResult:
+    """One-call convenience API.
+
+    ``eps_born``/``eps_epol`` (and any other
+    :class:`~repro.core.params.ApproximationParams` field passed as a
+    keyword) override the defaults.
+    """
+    kwargs = dict(param_overrides)
+    if eps_born is not None:
+        kwargs["eps_born"] = eps_born
+    if eps_epol is not None:
+        kwargs["eps_epol"] = eps_epol
+    params = ApproximationParams(**kwargs)
+    return PolarizationEnergyCalculator(molecule, params).run()

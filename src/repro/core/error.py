@@ -1,0 +1,49 @@
+"""Error metrics against the naive reference (the paper's "% of difference
+with naive", Figs. 9-11)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def percent_error(approx: float, reference: float) -> float:
+    """Signed percent difference ``100 * (approx - reference) / |reference|``.
+
+    The paper reports signed values (e.g. -0.07% for OCT_MPI on CMV).
+    """
+    if reference == 0:
+        raise ValueError("reference energy is zero; percent error undefined")
+    return 100.0 * (approx - reference) / abs(reference)
+
+
+def radii_relative_error(approx: np.ndarray, reference: np.ndarray) -> np.ndarray:
+    """Per-atom relative Born-radius error ``|approx - ref| / ref``."""
+    ref = np.asarray(reference, dtype=np.float64)
+    if np.any(ref <= 0):
+        raise ValueError("reference radii must be positive")
+    return np.abs(np.asarray(approx, dtype=np.float64) - ref) / ref
+
+
+@dataclass(frozen=True)
+class ErrorSummary:
+    """Mean +/- std of percent errors over a molecule suite (Fig. 10's
+    ``avg +/- std`` series)."""
+
+    mean: float
+    std: float
+    worst: float
+    count: int
+
+    @classmethod
+    def from_samples(cls, errors: list[float] | np.ndarray) -> "ErrorSummary":
+        arr = np.asarray(errors, dtype=np.float64)
+        if arr.size == 0:
+            raise ValueError("no error samples")
+        return cls(mean=float(arr.mean()), std=float(arr.std()),
+                   worst=float(np.max(np.abs(arr))), count=int(arr.size))
+
+    def __str__(self) -> str:
+        return (f"{self.mean:+.3f}% +/- {self.std:.3f}% "
+                f"(worst |e| = {self.worst:.3f}%, n = {self.count})")

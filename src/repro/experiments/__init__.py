@@ -1,0 +1,16 @@
+"""Per-figure/table experiment modules regenerating the paper's evaluation."""
+
+from .common import (ExperimentResult, calculator_for, clear_caches,
+                     naive_for, suite_molecules)
+from .registry import EXPERIMENTS, all_ids, run_experiment
+
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentResult",
+    "all_ids",
+    "calculator_for",
+    "clear_caches",
+    "naive_for",
+    "run_experiment",
+    "suite_molecules",
+]

@@ -1,0 +1,245 @@
+"""Ablations backing the paper's design-choice claims.
+
+* ``ablA`` -- work-division schemes (Section IV.A): node-based division's
+  energy is P-invariant; atom-based drifts and does slightly more work.
+* ``ablB`` -- hybrid vs distributed memory (Section V.B): one node holds
+  ~6x the data under 12x1 pure MPI vs 2x6 hybrid.
+* ``ablC`` -- octree vs nblist space (Section II): nblist bytes grow
+  cubically with the cutoff; octree bytes are cutoff-independent.
+* ``ablD`` -- the paper's algorithmic departure from its prior work [6]:
+  per-leaf single-tree traversal (Fig. 2) vs the dual-tree scheme,
+  comparing far-field counts and Born-radius accuracy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..baselines.nblist import build_nblist, nblist_bytes_model
+from ..config import DEFAULT_BTV_SCALE, DEFAULT_SEED
+from ..loadbalance import (compare_runs, division_error_stability,
+                           energy_spread, epol_atom_division,
+                           epol_node_division)
+from ..molecule.generators import btv_analogue, protein_blob
+from ..parallel.hybrid import ParallelRunConfig, run_variant
+from .common import ExperimentResult, calculator_for
+
+PART_COUNTS = (1, 2, 4, 8, 12, 24)
+
+
+def run_work_division(*, natoms: int = 2000,
+                      seed: int = DEFAULT_SEED) -> ExperimentResult:
+    """ablA: node-node vs atom-atom division across process counts."""
+    molecule = protein_blob(natoms, seed=seed)
+    calc = calculator_for(molecule)
+    ctx = calc.energy_context()
+    eps = calc.params.eps_epol
+    solvent = calc.params.epsilon_solvent
+    energies = division_error_stability(ctx, eps, solvent, list(PART_COUNTS))
+    node_run = epol_node_division(ctx, 12, eps, solvent)
+    atom_run = epol_atom_division(ctx, 12, eps, solvent)
+    cmp12 = compare_runs(node_run, atom_run)
+    from ..parallel.cost import CostModel
+    cost = CostModel()
+    t_node = cost.compute_seconds(node_run.counters)
+    t_atom = cost.compute_seconds(atom_run.counters)
+
+    rows = []
+    for i, p in enumerate(PART_COUNTS):
+        rows.append([p, energies["node-node"][i], energies["atom-atom"][i]])
+    node_spread = energy_spread(energies["node-node"])
+    atom_spread = energy_spread(energies["atom-atom"])
+    checks = {
+        # Paper: "for node-based work division, the error is constant".
+        "node_division_energy_p_invariant": node_spread < 1e-12,
+        # Paper: atom-based error "keeps changing with the number of
+        # processes even when the approximation parameters are kept fixed".
+        "atom_division_energy_drifts": atom_spread > 1e-8,
+        # Paper: atom-based division "takes slightly more time" -- split
+        # leaves are traversed by two ranks, so node visits grow with P
+        # even though the smaller fragment balls save a few exact pairs.
+        "atom_division_slower_in_modelled_time": t_atom >= t_node,
+    }
+    return ExperimentResult(
+        experiment_id="ablA",
+        title=f"Work-division schemes on {natoms} atoms "
+              f"(energy vs process count)",
+        headers=["P", "node-node energy", "atom-atom energy"],
+        rows=rows,
+        checks=checks,
+        notes=[f"node spread {node_spread:.2e}, atom spread "
+               f"{atom_spread:.2e}; modelled time at P=12: node "
+               f"{t_node * 1e3:.2f} ms vs atom {t_atom * 1e3:.2f} ms "
+               f"(pairs delta {100 * cmp12.extra_work_fraction:+.2f}%)"],
+    )
+
+
+def run_memory(*, scale: float = DEFAULT_BTV_SCALE,
+               seed: int = DEFAULT_SEED) -> ExperimentResult:
+    """ablB: per-node memory of 12x1 MPI vs 2x6 hybrid on one node."""
+    molecule = btv_analogue(scale=scale, seed=seed)
+    calc = calculator_for(molecule)
+    config = ParallelRunConfig(seed=seed)
+    mpi = run_variant(calc, "OCT_MPI", cores=12, config=config)
+    hyb = run_variant(calc, "OCT_MPI+CILK", cores=12, config=config)
+    ratio = mpi.node_bytes / hyb.node_bytes
+    rows = [
+        ["OCT_MPI (12x1)", mpi.node_bytes / 1e9, mpi.layout.ranks_per_node],
+        ["OCT_MPI+CILK (2x6)", hyb.node_bytes / 1e9,
+         hyb.layout.ranks_per_node],
+    ]
+    checks = {
+        # Paper: 8.2 GB vs 1.4 GB ~= 5.86x on BTV.
+        "memory_ratio_close_to_6x": 4.5 <= ratio <= 6.5,
+        "energies_identical": mpi.energy == hyb.energy,
+    }
+    return ExperimentResult(
+        experiment_id="ablB",
+        title=f"Replicated-data memory per node, BTV analogue "
+              f"({len(molecule)} atoms)",
+        headers=["configuration", "node memory (GB)", "replicas"],
+        rows=rows,
+        checks=checks,
+        notes=[f"measured ratio {ratio:.2f}x (paper: 5.86x)"],
+    )
+
+
+def run_nblist_space(*, natoms: int = 4000,
+                     seed: int = DEFAULT_SEED) -> ExperimentResult:
+    """ablC: nblist vs octree space as the cutoff / eps grows."""
+    molecule = protein_blob(natoms, seed=seed)
+    calc = calculator_for(molecule)
+    octree_bytes = (calc.atom_tree().tree.nbytes()
+                    + calc.quad_tree().tree.nbytes())
+    cutoffs = (6.0, 9.0, 12.0, 16.0, 20.0)
+    rows = []
+    measured = []
+    for cutoff in cutoffs:
+        nblist = build_nblist(molecule, cutoff)
+        model = nblist_bytes_model(natoms, cutoff)
+        measured.append(nblist.nbytes())
+        rows.append([cutoff, nblist.nbytes() / 1e6, model / 1e6,
+                     octree_bytes / 1e6])
+    growth = measured[-1] / measured[0]
+    cubic = (cutoffs[-1] / cutoffs[0]) ** 3
+    checks = {
+        # Cubic-in-cutoff growth (within a factor ~2: edge effects at
+        # molecule-scale cutoffs slow the growth down).
+        "nblist_growth_near_cubic": 0.35 * cubic <= growth <= 1.5 * cubic,
+        # Octree space independent of any approximation parameter, and
+        # smaller than the nblist at large cutoffs.
+        "octree_smaller_at_large_cutoff": octree_bytes < measured[-1],
+        "model_tracks_measurement": all(
+            0.3 <= m / mod <= 3.0
+            for m, mod in zip(measured,
+                              [nblist_bytes_model(natoms, c)
+                               for c in cutoffs])),
+    }
+    return ExperimentResult(
+        experiment_id="ablC",
+        title=f"nblist vs octree space on {natoms} atoms",
+        headers=["cutoff (A)", "nblist measured (MB)", "nblist model (MB)",
+                 "octree (MB)"],
+        rows=rows,
+        checks=checks,
+        notes=[f"nblist grew {growth:.1f}x across the sweep "
+               f"(pure cubic would be {cubic:.1f}x); octree constant"],
+    )
+
+
+def run_traversal_schemes(*, natoms: int = 2000,
+                          seed: int = DEFAULT_SEED) -> ExperimentResult:
+    """ablD: per-leaf (Fig. 2) vs dual-tree ([6]) Born traversal."""
+    import numpy as np
+
+    from ..core.born import approx_integrals, push_integrals_to_atoms
+    from ..core.dualtree import dual_tree_integrals
+    from ..core.naive import naive_born_radii
+
+    molecule = protein_blob(natoms, seed=seed)
+    calc = calculator_for(molecule)
+    atoms = calc.atom_tree()
+    quad = calc.quad_tree()
+    eps = calc.params.eps_born
+    max_radius = 2.0 * molecule.bounding_radius
+    naive = naive_born_radii(molecule, calc.prepare_surface())[atoms.tree.perm]
+
+    per_leaf = approx_integrals(atoms, quad, quad.tree.leaves, eps)
+    pl_radii = push_integrals_to_atoms(atoms, per_leaf,
+                                       max_radius=max_radius)
+    dual = dual_tree_integrals(atoms, quad, eps)
+    dual_radii = push_integrals_to_atoms(atoms, dual, max_radius=max_radius)
+
+    rows = []
+    for name, partial, radii in (("per-leaf (Fig. 2)", per_leaf, pl_radii),
+                                 ("dual-tree ([6])", dual, dual_radii)):
+        err = float(np.abs(radii - naive).mean())
+        rows.append([name, partial.counters.exact_pairs,
+                     partial.counters.far_evals,
+                     partial.counters.nodes_visited, err])
+    checks = {
+        # Internal-pair approximation means fewer, coarser far evals ...
+        "dual_tree_fewer_far_evals":
+            dual.counters.far_evals <= per_leaf.counters.far_evals,
+        # ... and the paper's rationale: leaf-granularity interaction
+        # "leads to less approximation" (Section IV.A).
+        "per_leaf_no_less_accurate": rows[0][4] <= rows[1][4] * 1.05,
+        "both_schemes_accurate": all(row[4] < 0.05 for row in rows),
+    }
+    return ExperimentResult(
+        experiment_id="ablD",
+        title=f"Born traversal schemes on {natoms} atoms "
+              "(the paper's change from [6])",
+        headers=["scheme", "exact pairs", "far evals", "nodes visited",
+                 "mean |dR| (A)"],
+        rows=rows,
+        checks=checks,
+    )
+
+
+def run_data_distribution(*, natoms: int = 6000,
+                          seed: int = DEFAULT_SEED) -> ExperimentResult:
+    """ablE: the paper's future work -- distribute data, not just work.
+
+    Compares per-rank memory of the paper's replicated design against the
+    segment + skeleton + halo footprint of data distribution, and prices
+    the halo exchange it introduces.  Energies are unchanged (the halo
+    covers exactly the near field), so the trade is purely memory vs
+    point-to-point traffic.
+    """
+    from ..parallel.datadist import analyze_distribution
+
+    molecule = protein_blob(natoms, seed=seed)
+    calc = calculator_for(molecule)
+    rows = []
+    reductions = []
+    for nranks in (2, 4, 12, 48):
+        dist = analyze_distribution(calc, nranks=nranks)
+        worst = dist.distributed_bytes.max()
+        rows.append([
+            nranks,
+            dist.replicated_bytes / 1e6,
+            worst / 1e6,
+            dist.memory_reduction,
+            dist.halo_traffic_bytes / 1e6,
+            dist.halo_messages,
+        ])
+        reductions.append(dist.memory_reduction)
+    checks = {
+        # Memory per rank actually shrinks, and keeps shrinking with P.
+        "memory_shrinks_vs_replication": all(r > 1.2 for r in reductions[1:]),
+        "reduction_grows_with_ranks": reductions[-1] > reductions[0],
+        # The price: nonzero halo traffic that replication never pays.
+        "halo_traffic_nonzero": all(row[4] > 0 for row in rows[1:]),
+    }
+    return ExperimentResult(
+        experiment_id="ablE",
+        title=f"Data distribution (paper's future work) on {natoms} atoms",
+        headers=["ranks", "replicated/rank (MB)", "distributed worst (MB)",
+                 "reduction", "halo traffic (MB)", "halo msgs"],
+        rows=rows,
+        checks=checks,
+        notes=["replicated = the paper's design (every rank holds all "
+               "data); distributed = skeleton + owned segment + near-field "
+               "halo"],
+    )

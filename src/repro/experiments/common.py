@@ -1,0 +1,132 @@
+"""Shared infrastructure for the per-figure experiment modules.
+
+Experiments are plain functions returning an :class:`ExperimentResult`:
+structured series/rows (for tests to assert shape properties against),
+plus a rendered text artifact (what the benchmark harness prints, playing
+the role of the paper's figure).  Heavy intermediates -- calculators with
+their cached leaf profiles, naive references, baseline runs -- are cached
+per process so that e.g. Fig. 7, Fig. 8 and Fig. 9 share one execution
+per molecule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..config import DEFAULT_SEED
+from ..core.driver import PolarizationEnergyCalculator
+from ..core.naive import NaiveResult, naive_reference
+from ..core.params import ApproximationParams
+from ..molecule import zdock
+from ..molecule.molecule import Molecule
+
+
+@dataclass
+class ExperimentResult:
+    """Outcome of one experiment.
+
+    Attributes
+    ----------
+    experiment_id:
+        ``"fig5"`` ... ``"table2"``, ``"ablA"`` ...
+    title:
+        Human-readable description.
+    headers / rows:
+        The regenerated table/figure data.
+    checks:
+        Named shape assertions (paper-derived expectations) with their
+        outcomes; tests assert these, benches print them.
+    notes:
+        Paper-vs-measured commentary for EXPERIMENTS.md.
+    """
+
+    experiment_id: str
+    title: str
+    headers: list[str]
+    rows: list[list[Any]]
+    checks: dict[str, bool] = field(default_factory=dict)
+    notes: list[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        from ..analysis.tables import render_table
+        out = [render_table(self.headers, self.rows,
+                            title=f"[{self.experiment_id}] {self.title}")]
+        if self.checks:
+            out.append("")
+            for name, ok in self.checks.items():
+                out.append(f"  check {name}: {'PASS' if ok else 'FAIL'}")
+        for note in self.notes:
+            out.append(f"  note: {note}")
+        return "\n".join(out)
+
+    def all_checks_pass(self) -> bool:
+        return all(self.checks.values())
+
+
+# ----------------------------------------------------------------------
+# process-wide caches
+# ----------------------------------------------------------------------
+_calculators: dict[tuple[str, tuple], PolarizationEnergyCalculator] = {}
+_naive: dict[tuple[str, tuple], NaiveResult] = {}
+
+
+def _params_key(params: ApproximationParams) -> tuple:
+    return (params.eps_born, params.eps_epol, params.leaf_cap,
+            params.quad_leaf_cap, params.points_per_atom,
+            params.epsilon_solvent, params.born_mac_variant)
+
+
+def calculator_for(molecule: Molecule,
+                   params: ApproximationParams | None = None
+                   ) -> PolarizationEnergyCalculator:
+    """A cached calculator (with its profile cache) for this molecule."""
+    params = params or ApproximationParams()
+    key = (molecule.name, _params_key(params))
+    if key not in _calculators:
+        _calculators[key] = PolarizationEnergyCalculator(molecule, params)
+    return _calculators[key]
+
+
+def naive_for(molecule: Molecule,
+              params: ApproximationParams | None = None) -> NaiveResult:
+    """Cached naive reference sharing the calculator's surface."""
+    params = params or ApproximationParams()
+    key = (molecule.name, _params_key(params))
+    if key not in _naive:
+        calc = calculator_for(molecule, params)
+        _naive[key] = naive_reference(molecule, calc.prepare_surface(),
+                                      epsilon_solvent=params.epsilon_solvent)
+    return _naive[key]
+
+
+def clear_caches() -> None:
+    """Drop all cached calculators/references (frees memory in long
+    sessions)."""
+    _calculators.clear()
+    _naive.clear()
+
+
+def suite_molecules(*, quick: bool = True,
+                    max_atoms: int | None = None) -> list[Molecule]:
+    """The ZDock-analogue molecules an experiment sweeps.
+
+    ``quick`` samples every 8th registry entry (11 molecules spanning the
+    full 400..16,301 range, anchors included by construction); the full
+    suite is all 84.
+    """
+    stride = 8 if quick else 1
+    mols = list(zdock.molecules(stride=stride, max_atoms=max_atoms))
+    if quick:
+        # Always include the paper's anchor sizes.
+        names = {m.name for m in mols}
+        for anchor in (zdock.GROMACS_PEAK_ATOMS, zdock.MAX_ATOMS):
+            for entry in zdock.entries():
+                if entry.natoms == anchor and entry.name not in names:
+                    if max_atoms is None or entry.natoms <= max_atoms:
+                        mols.append(zdock.molecule(entry.index))
+                        names.add(entry.name)
+    return sorted(mols, key=len)
+
+
+DEFAULT_EXPERIMENT_SEED = DEFAULT_SEED

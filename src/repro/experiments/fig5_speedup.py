@@ -1,0 +1,66 @@
+"""Fig. 5: speedup of OCT_MPI and OCT_MPI+CILK vs one 12-core node (BTV).
+
+The paper runs the 6M-atom Blue Tongue Virus; we run the BTV analogue at a
+documented scale (DESIGN.md Section 2) and sweep total cores from one node
+(12) up to the paper's 12 nodes (144).  Speedup is relative to each
+variant's own one-node time, as in the figure.
+"""
+
+from __future__ import annotations
+
+from ..config import DEFAULT_BTV_SCALE, DEFAULT_SEED
+from ..molecule.generators import btv_analogue
+from ..parallel.hybrid import ParallelRunConfig, run_variant
+from .common import ExperimentResult, calculator_for
+
+#: The paper's core counts: 1..12 nodes of 12 cores.
+CORE_COUNTS = (12, 24, 48, 72, 96, 120, 144)
+
+
+def run(*, scale: float = DEFAULT_BTV_SCALE,
+        seed: int = DEFAULT_SEED,
+        core_counts: tuple[int, ...] = CORE_COUNTS) -> ExperimentResult:
+    """Regenerate the Fig. 5 speedup curves."""
+    molecule = btv_analogue(scale=scale, seed=seed)
+    calc = calculator_for(molecule)
+    config = ParallelRunConfig(seed=seed)
+    times: dict[str, list[float]] = {"OCT_MPI": [], "OCT_MPI+CILK": []}
+    for cores in core_counts:
+        for variant in times:
+            times[variant].append(
+                run_variant(calc, variant, cores=cores, config=config)
+                .sim_seconds)
+    rows = []
+    for i, cores in enumerate(core_counts):
+        rows.append([
+            cores,
+            times["OCT_MPI"][i],
+            times["OCT_MPI"][0] / times["OCT_MPI"][i],
+            times["OCT_MPI+CILK"][i],
+            times["OCT_MPI+CILK"][0] / times["OCT_MPI+CILK"][i],
+        ])
+    sp_mpi = times["OCT_MPI"][0] / times["OCT_MPI"][-1]
+    sp_hyb = times["OCT_MPI+CILK"][0] / times["OCT_MPI+CILK"][-1]
+    checks = {
+        "speedup_monotone_mpi": all(
+            t1 >= t2 for t1, t2 in zip(times["OCT_MPI"],
+                                       times["OCT_MPI"][1:])),
+        "speedup_monotone_hybrid": all(
+            t1 >= t2 for t1, t2 in zip(times["OCT_MPI+CILK"],
+                                       times["OCT_MPI+CILK"][1:])),
+        # 12 -> 144 cores is 12x more hardware; the paper's curves retain
+        # a healthy fraction of it.
+        "mpi_144core_speedup_over_6x": sp_mpi > 6.0,
+        "hybrid_144core_speedup_over_6x": sp_hyb > 6.0,
+    }
+    return ExperimentResult(
+        experiment_id="fig5",
+        title=f"Speedup vs one node, BTV analogue ({len(molecule)} atoms, "
+              f"scale={scale})",
+        headers=["cores", "OCT_MPI (s)", "speedup", "OCT_MPI+CILK (s)",
+                 "speedup"],
+        rows=rows,
+        checks=checks,
+        notes=[f"paper input: 6M-atom BTV; analogue scale {scale} "
+               f"-> {len(molecule)} atoms (DESIGN.md Section 2)"],
+    )

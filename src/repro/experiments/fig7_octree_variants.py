@@ -1,0 +1,65 @@
+"""Fig. 7: OCT_CILK vs OCT_MPI vs OCT_MPI+CILK across the ZDock suite.
+
+One 12-core node, approximation parameters 0.9/0.9, approximate math on
+(the Fig. 7 configuration per Section V.E's cross-reference).  Rows are
+sorted by OCT_CILK time, as in the figure.  The paper's observations this
+regenerates:
+
+* OCT_CILK is fastest below ~2,500 atoms (MPI communication dominates);
+* OCT_MPI is significantly faster than OCT_CILK for larger molecules;
+* OCT_MPI is slightly faster than OCT_MPI+CILK below ~7,500 atoms, after
+  which the two are similar.
+"""
+
+from __future__ import annotations
+
+from ..config import DEFAULT_SEED
+from ..parallel.hybrid import ParallelRunConfig, run_variant
+from .common import ExperimentResult, calculator_for, suite_molecules
+
+VARIANTS = ("OCT_CILK", "OCT_MPI", "OCT_MPI+CILK")
+
+#: Paper-reported behaviour boundaries (atoms).
+CILK_BEST_BELOW = 2500
+HYBRID_SIMILAR_ABOVE = 7500
+
+
+def run(*, quick: bool = True, seed: int = DEFAULT_SEED) -> ExperimentResult:
+    """Regenerate the Fig. 7 comparison."""
+    config = ParallelRunConfig(seed=seed, approximate_math=True)
+    records = []
+    for molecule in suite_molecules(quick=quick):
+        calc = calculator_for(molecule)
+        times = {v: run_variant(calc, v, cores=12, config=config).sim_seconds
+                 for v in VARIANTS}
+        records.append((molecule.name, len(molecule), times))
+    records.sort(key=lambda r: r[2]["OCT_CILK"])
+    rows = [[name, natoms, t["OCT_CILK"], t["OCT_MPI"], t["OCT_MPI+CILK"],
+             min(t, key=t.get)]
+            for name, natoms, t in records]
+
+    small = [t for _, n, t in records if n < CILK_BEST_BELOW]
+    large = [t for _, n, t in records if n > HYBRID_SIMILAR_ABOVE]
+    mid = [t for _, n, t in records
+           if CILK_BEST_BELOW <= n <= HYBRID_SIMILAR_ABOVE]
+    checks = {
+        "cilk_fastest_below_2500": all(
+            t["OCT_CILK"] <= min(t["OCT_MPI"], t["OCT_MPI+CILK"])
+            for t in small),
+        "mpi_beats_cilk_above_7500": all(
+            t["OCT_MPI"] < t["OCT_CILK"] for t in large),
+        "mpi_not_slower_than_hybrid_midrange": all(
+            t["OCT_MPI"] <= t["OCT_MPI+CILK"] * 1.02 for t in mid),
+        "mpi_hybrid_similar_above_7500": all(
+            abs(t["OCT_MPI"] - t["OCT_MPI+CILK"])
+            <= 0.12 * max(t["OCT_MPI"], t["OCT_MPI+CILK"]) for t in large),
+    }
+    return ExperimentResult(
+        experiment_id="fig7",
+        title="Octree-variant comparison on one 12-core node "
+              "(sorted by OCT_CILK time, approximate math on)",
+        headers=["molecule", "atoms", "OCT_CILK (s)", "OCT_MPI (s)",
+                 "OCT_MPI+CILK (s)", "best"],
+        rows=rows,
+        checks=checks,
+    )

@@ -1,0 +1,67 @@
+"""Fig. 9: GB-energy values computed by every package.
+
+Paper observations reproduced here:
+
+* Amber, GBr6, Gromacs, NAMD and the octree variants track the naive
+  energy closely;
+* Tinker reports around 70% of the naive energy (its Still-volume radii);
+* Tinker and GBr6 stop producing values above ~12k / ~13k atoms (OOM);
+* all octree variants report (bit-)identical energies.
+"""
+
+from __future__ import annotations
+
+from ..config import DEFAULT_SEED
+from .common import ExperimentResult
+from .fig8_packages import PACKAGE_ORDER, package_sweep
+
+
+def run(*, quick: bool = True, seed: int = DEFAULT_SEED) -> ExperimentResult:
+    """Regenerate the Fig. 9 energy-value comparison."""
+    records = package_sweep(quick=quick, seed=seed)
+    rows = []
+    ratios: dict[str, list[float]] = {name: [] for name in PACKAGE_ORDER}
+    ratios["octree"] = []
+    for rec in records:
+        row = [rec.molecule.name, len(rec.molecule), rec.naive_energy]
+        for name in PACKAGE_ORDER:
+            res = rec.baseline[name]
+            if res is None:
+                row.append(float("nan"))
+            else:
+                row.append(res.energy)
+                ratios[name].append(res.energy / rec.naive_energy)
+        row.append(rec.octree_energy)
+        ratios["octree"].append(rec.octree_energy / rec.naive_energy)
+        rows.append(row)
+
+    def mean(name: str) -> float:
+        vals = ratios[name]
+        return sum(vals) / len(vals) if vals else float("nan")
+
+    checks = {
+        # "match closely with GB-energy computed by the naive approach"
+        "amber_close_to_naive": 0.8 <= mean("Amber 12") <= 1.25,
+        "gromacs_close_to_naive": 0.8 <= mean("Gromacs 4.5.3") <= 1.25,
+        "namd_close_to_naive": 0.8 <= mean("NAMD 2.9") <= 1.25,
+        "gbr6_close_to_naive": 0.8 <= mean("GBr6") <= 1.25,
+        # "Energy values reported by Tinker were around 70% of the naive".
+        "tinker_around_70pct": 0.55 <= mean("Tinker 6.0") <= 0.85,
+        "octree_close_to_naive": 0.97 <= mean("octree") <= 1.03,
+        # Energies are negative (polarization energy, Section I).
+        "all_energies_negative": all(
+            rec.naive_energy < 0 and rec.octree_energy < 0
+            for rec in records),
+    }
+    headers = (["molecule", "atoms", "naive"] + list(PACKAGE_ORDER)
+               + ["octree"])
+    return ExperimentResult(
+        experiment_id="fig9",
+        title="Energy values by package (kcal/mol; nan = out of memory)",
+        headers=headers,
+        rows=rows,
+        checks=checks,
+        notes=[f"mean energy / naive: "
+               + ", ".join(f"{n}={mean(n):.2f}"
+                           for n in list(PACKAGE_ORDER) + ["octree"])],
+    )

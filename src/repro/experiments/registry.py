@@ -1,0 +1,43 @@
+"""Experiment registry: id -> callable, for the CLI and the bench harness."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from . import ablations, fig5_speedup, fig6_scalability, fig7_octree_variants
+from . import fig8_packages, fig9_energy_values, fig10_epsilon_sweep
+from . import fig11_cmv, table1_environment, table2_packages
+from .common import ExperimentResult
+
+#: Every regenerable paper artifact.
+EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
+    "table1": table1_environment.run,
+    "table2": table2_packages.run,
+    "fig5": fig5_speedup.run,
+    "fig6": fig6_scalability.run,
+    "fig7": fig7_octree_variants.run,
+    "fig8": fig8_packages.run,
+    "fig9": fig9_energy_values.run,
+    "fig10": fig10_epsilon_sweep.run,
+    "fig11": fig11_cmv.run,
+    "ablA": ablations.run_work_division,
+    "ablB": ablations.run_memory,
+    "ablC": ablations.run_nblist_space,
+    "ablD": ablations.run_traversal_schemes,
+    "ablE": ablations.run_data_distribution,
+}
+
+
+def run_experiment(experiment_id: str, **kwargs) -> ExperimentResult:
+    """Run one experiment by id."""
+    try:
+        fn = EXPERIMENTS[experiment_id]
+    except KeyError:
+        raise KeyError(f"unknown experiment {experiment_id!r}; "
+                       f"known: {sorted(EXPERIMENTS)}") from None
+    return fn(**kwargs)
+
+
+def all_ids() -> list[str]:
+    """All experiment ids in presentation order."""
+    return list(EXPERIMENTS)

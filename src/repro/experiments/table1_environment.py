@@ -1,0 +1,45 @@
+"""Table I: the simulation environment (modelled machine vs the paper)."""
+
+from __future__ import annotations
+
+from ..parallel.machine import LONESTAR4, LONESTAR4_NETWORK
+from .common import ExperimentResult
+
+#: The paper's Table I, verbatim targets.
+PAPER_TABLE1 = {
+    "Processors": "3.33 GHz Hexa-Core Intel Westmere",
+    "Cores/node": 12,
+    "RAM": "24 GB",
+    "Interconnect": "InfiniBand fat-tree, 40Gb/s",
+    "Cache": "12 MB L3, 64 KB L1, 256 KB L2",
+    "Parallelism": "cilk-4.5.4 + MVAPICH2 (simulated)",
+}
+
+
+def run() -> ExperimentResult:
+    """Render the modelled environment next to the paper's Table I."""
+    m = LONESTAR4
+    modelled = {
+        "Processors": f"{m.clock_ghz:.2f} GHz x {m.cores_per_socket}-core "
+                      f"x {m.sockets} sockets ({m.name})",
+        "Cores/node": m.cores_per_node,
+        "RAM": f"{m.ram_gb:.0f} GB",
+        "Interconnect": (f"modelled t_s={LONESTAR4_NETWORK.ts_inter*1e6:.1f}us, "
+                         f"bw~{8e-9/LONESTAR4_NETWORK.tw_inter/8:.1f}GB/s"),
+        "Cache": f"{m.l3_mb} MB L3/socket, {m.l1_kb} KB L1, {m.l2_kb} KB L2",
+        "Parallelism": "simulated cilk work stealing + simulated MPI",
+    }
+    rows = [[key, PAPER_TABLE1[key], modelled[key]] for key in PAPER_TABLE1]
+    checks = {
+        "cores_per_node_is_12": m.cores_per_node == 12,
+        "ram_is_24gb": m.ram_gb == 24.0,
+        "l3_is_12mb": m.l3_mb == 12,
+        "dual_socket_hexa_core": m.sockets == 2 and m.cores_per_socket == 6,
+    }
+    return ExperimentResult(
+        experiment_id="table1",
+        title="Simulation environment (paper Table I vs model)",
+        headers=["attribute", "paper", "model"],
+        rows=rows,
+        checks=checks,
+    )

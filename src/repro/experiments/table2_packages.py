@@ -1,0 +1,56 @@
+"""Table II: packages, GB models and parallelism types."""
+
+from __future__ import annotations
+
+from ..baselines import ALL_PACKAGES
+from ..core.params import GBModel
+from .common import ExperimentResult
+
+#: The paper's Table II, as (package, GB model, parallelism).
+PAPER_TABLE2 = [
+    ("Gromacs 4.5.3", GBModel.HCT, "distributed"),
+    ("NAMD 2.9", GBModel.OBC, "distributed"),
+    ("Amber 12", GBModel.HCT, "distributed"),
+    ("Tinker 6.0", GBModel.STILL, "shared"),
+    ("GBr6", GBModel.STILL, "serial"),
+]
+
+#: Our own variants (lower half of Table II).
+OCT_VARIANTS = [
+    ("OCT_CILK", GBModel.STILL, "shared (simulated cilk++)"),
+    ("OCT_MPI", GBModel.STILL, "distributed (simulated MPI)"),
+    ("OCT_MPI+CILK", GBModel.STILL, "distributed-shared (simulated)"),
+    ("Naive", GBModel.STILL, "serial"),
+]
+
+
+def run() -> ExperimentResult:
+    """Render the implemented package registry against the paper's
+    Table II."""
+    rows = []
+    implemented = {}
+    for cls in ALL_PACKAGES:
+        pkg = cls()
+        implemented[pkg.name] = (pkg.gb_model, pkg.parallelism)
+        rows.append([pkg.name, pkg.gb_model.value, pkg.parallelism])
+    for name, model, par in OCT_VARIANTS:
+        rows.append([name, model.value, par])
+
+    checks = {}
+    for name, model, par in PAPER_TABLE2:
+        got = implemented.get(name)
+        # The paper files GBr6 under STILL (its parameterisation lineage);
+        # our implementation labels the algorithm it actually runs
+        # (volume-based r^6), so we check presence + parallelism for it.
+        if name == "GBr6":
+            ok = got is not None and got[1] == par
+        else:
+            ok = got == (model, par)
+        checks[f"{name.replace(' ', '_')}_registered"] = ok
+    return ExperimentResult(
+        experiment_id="table2",
+        title="Packages, GB models and parallelism (paper Table II)",
+        headers=["package", "gb-model", "parallelism"],
+        rows=rows,
+        checks=checks,
+    )

@@ -1,0 +1,53 @@
+"""Imbalance and stability diagnostics for work-division schemes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..octree.partition import imbalance
+from .schemes import DivisionRun
+
+
+@dataclass(frozen=True)
+class DivisionComparison:
+    """Side-by-side diagnostics of two scheme runs on the same input."""
+
+    scheme_a: str
+    scheme_b: str
+    imbalance_a: float
+    imbalance_b: float
+    pairs_a: int
+    pairs_b: int
+
+    @property
+    def extra_work_fraction(self) -> float:
+        """Fractional extra exact work of scheme B over scheme A (the
+        paper: atom-based division 'takes slightly more time')."""
+        if self.pairs_a == 0:
+            return 0.0
+        return (self.pairs_b - self.pairs_a) / self.pairs_a
+
+
+def compare_runs(a: DivisionRun, b: DivisionRun) -> DivisionComparison:
+    """Compare the load balance and total work of two division runs."""
+    return DivisionComparison(
+        scheme_a=a.scheme, scheme_b=b.scheme,
+        imbalance_a=imbalance(a.per_rank_pairs),
+        imbalance_b=imbalance(b.per_rank_pairs),
+        pairs_a=int(a.counters.exact_pairs),
+        pairs_b=int(b.counters.exact_pairs),
+    )
+
+
+def energy_spread(energies: list[float]) -> float:
+    """Relative spread ``(max - min) / |mean|`` of energies across part
+    counts: 0 for node-based division, > 0 for atom-based."""
+    arr = np.asarray(energies, dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("no energies")
+    mean = arr.mean()
+    if mean == 0:
+        raise ValueError("zero mean energy")
+    return float((arr.max() - arr.min()) / abs(mean))

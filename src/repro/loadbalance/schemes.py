@@ -1,0 +1,149 @@
+"""Work-division schemes and their accuracy/imbalance behaviour.
+
+Section IV.A of the paper compares dividing octree *leaf nodes* across
+processes (node-based) with dividing *atoms* (or q-points) by index range
+(atom-based), and reports two findings this module reproduces:
+
+* atom-based division is slightly slower (split tree nodes are visited by
+  two ranks), and
+* atom-based division's **error changes with the number of processes**
+  even at fixed approximation parameters, while node-based division's
+  error is exactly constant.
+
+The mechanism for the second point: when an index range splits a leaf,
+each rank treats *its fragment* of the leaf as the traversal target, and a
+fragment has its own enclosing ball -- so the MAC accepts different node
+pairs at different ``P``, changing which interactions are approximated.
+Node-based division always hands a whole leaf (a fixed ball) to exactly
+one rank, so the set of MAC decisions -- and hence the approximation --
+is ``P``-independent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.energy import EnergyContext, epol_from_pair_sum
+from ..core.gbmodels import f_gb
+from ..core.integrals import pair_distance_sq
+from ..core.born import _slice_concat
+from ..octree.mac import epol_mac_multiplier
+from ..octree.partition import segment_range
+from ..octree.traversal import classify_against_ball
+from ..runtime.instrument import WorkCounters
+
+#: Scheme identifiers of Section IV.A.
+NODE_NODE = "node-node"
+ATOM_ATOM = "atom-atom"
+
+
+@dataclass
+class DivisionRun:
+    """Result of evaluating the energy under one division scheme."""
+
+    scheme: str
+    nparts: int
+    energy: float
+    counters: WorkCounters
+    per_rank_pairs: np.ndarray  # exact pairs per rank (imbalance metric)
+
+
+def epol_node_division(ctx: EnergyContext, nparts: int, eps: float,
+                       epsilon_solvent: float) -> DivisionRun:
+    """Node-based energy division (the paper's scheme; exact wrapper over
+    :func:`repro.core.energy.approx_epol` per segment)."""
+    from ..core.energy import approx_epol
+    from ..octree.partition import segment_leaves
+
+    total = 0.0
+    counters = WorkCounters()
+    per_rank = np.zeros(nparts)
+    for rank, leaves in enumerate(segment_leaves(ctx.atoms.tree, nparts)):
+        partial = approx_epol(ctx, leaves, eps)
+        total += partial.pair_sum
+        per_rank[rank] = partial.counters.exact_pairs
+        counters.add(partial.counters)
+    return DivisionRun(NODE_NODE, nparts,
+                       epol_from_pair_sum(total, epsilon_solvent=epsilon_solvent),
+                       counters, per_rank)
+
+
+def epol_atom_division(ctx: EnergyContext, nparts: int, eps: float,
+                       epsilon_solvent: float) -> DivisionRun:
+    """Atom-based energy division: rank ``i`` computes the interactions of
+    the ``i``-th index range of (tree-sorted) atoms against the whole
+    octree.
+
+    Leaf fragments are the traversal targets; their balls -- and thus the
+    MAC decisions -- depend on where the range boundaries fall, which is
+    exactly why the paper found this scheme's error drifting with ``P``.
+    """
+    tree = ctx.atoms.tree
+    mult = epol_mac_multiplier(eps)
+    pos = tree.sorted_points
+    charges = ctx.atoms.sorted_charges
+    born = ctx.born_sorted
+    nbins = ctx.binning.nbins
+    bins_sorted = ctx.binning.bin_index  # built from sorted radii
+    pair_r2 = ctx.pair_radius_sq
+    leaves = tree.leaves
+    leaf_start = tree.point_start[leaves]
+    leaf_end = tree.point_end[leaves]
+
+    total = 0.0
+    counters = WorkCounters()
+    per_rank = np.zeros(nparts)
+    for rank, (lo, hi) in enumerate(segment_range(tree.npoints, nparts)):
+        if hi <= lo:
+            continue
+        rank_pairs = 0
+        # Leaves overlapping this rank's atom range.
+        overlap = np.flatnonzero((leaf_start < hi) & (leaf_end > lo))
+        for li in overlap:
+            vs = max(int(leaf_start[li]), lo)
+            ve = min(int(leaf_end[li]), hi)
+            frag = pos[vs:ve]
+            center = frag.mean(axis=0)
+            radius = float(np.sqrt(np.max(np.sum((frag - center) ** 2,
+                                                 axis=1))))
+            cls = classify_against_ball(tree, center, radius, mult)
+            counters.nodes_visited += cls.nodes_visited
+            if cls.far_nodes.size:
+                q_u = ctx.node_hist[cls.far_nodes]
+                # Fragment histogram: only this rank's atoms of the leaf.
+                q_v = np.bincount(bins_sorted[vs:ve],
+                                  weights=charges[vs:ve],
+                                  minlength=nbins)
+                d2 = (cls.far_dist ** 2)[:, None, None]
+                f = f_gb(d2, pair_r2[None, :, :])
+                total += float(np.einsum("fi,j,fij->", q_u, q_v, 1.0 / f))
+                counters.far_evals += cls.far_nodes.size
+                counters.hist_pairs += cls.far_nodes.size * nbins * nbins
+            if cls.near_leaves.size:
+                idx = _slice_concat(tree, cls.near_leaves)
+                r2, _, _ = pair_distance_sq(pos[idx], frag)
+                f = f_gb(r2, born[idx][:, None] * born[vs:ve][None, :])
+                total += float(np.sum(charges[idx][:, None]
+                                      * charges[vs:ve][None, :] / f))
+                counters.exact_pairs += idx.size * (ve - vs)
+                rank_pairs += idx.size * (ve - vs)
+        per_rank[rank] = rank_pairs
+    return DivisionRun(ATOM_ATOM, nparts,
+                       epol_from_pair_sum(total, epsilon_solvent=epsilon_solvent),
+                       counters, per_rank)
+
+
+def division_error_stability(ctx: EnergyContext, eps: float,
+                             epsilon_solvent: float,
+                             part_counts: list[int]) -> dict[str, list[float]]:
+    """Energies of both schemes across ``part_counts`` -- the Section IV.A
+    comparison.  Node-based values are all identical; atom-based values
+    wander."""
+    return {
+        NODE_NODE: [epol_node_division(ctx, p, eps, epsilon_solvent).energy
+                    for p in part_counts],
+        ATOM_ATOM: [epol_atom_division(ctx, p, eps, epsilon_solvent).energy
+                    for p in part_counts],
+    }

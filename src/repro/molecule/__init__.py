@@ -1,0 +1,25 @@
+"""Molecule representation, file I/O and synthetic generators."""
+
+from .elements import ELEMENTS, ElementInfo, vdw_radius
+from .generators import (btv_analogue, cmv_analogue, icosahedral_shell,
+                         protein_blob, two_body_complex)
+from .molecule import Molecule, from_arrays
+from .pdb import read_pdb, write_pdb
+from .pqr import read_pqr, write_pqr
+
+__all__ = [
+    "ELEMENTS",
+    "ElementInfo",
+    "Molecule",
+    "btv_analogue",
+    "cmv_analogue",
+    "from_arrays",
+    "icosahedral_shell",
+    "protein_blob",
+    "read_pdb",
+    "read_pqr",
+    "two_body_complex",
+    "vdw_radius",
+    "write_pdb",
+    "write_pqr",
+]

@@ -1,0 +1,77 @@
+"""Per-element data: van der Waals radii and typical partial charges.
+
+Radii follow Bondi (1964) with the common molecular-mechanics override of
+1.2 A for hydrogen.  Partial-charge ranges are representative of Amber-style
+force fields; the synthetic generators sample within these ranges, subject
+to near-neutrality constraints imposed at the molecule level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+
+@dataclass(frozen=True)
+class ElementInfo:
+    """Static per-element parameters.
+
+    Attributes
+    ----------
+    symbol:
+        Chemical symbol, e.g. ``"C"``.
+    vdw_radius:
+        van der Waals radius in Angstroms (Bondi).
+    mass:
+        Atomic mass in Daltons.
+    typical_charge:
+        Centre of the partial-charge range used by the synthetic
+        generators (units of e).
+    charge_spread:
+        Half-width of the partial-charge range.
+    """
+
+    symbol: str
+    vdw_radius: float
+    mass: float
+    typical_charge: float
+    charge_spread: float
+
+
+#: The elements that dominate protein composition, with their Bondi radii.
+ELEMENTS: Mapping[str, ElementInfo] = {
+    "H": ElementInfo("H", 1.20, 1.008, +0.15, 0.25),
+    "C": ElementInfo("C", 1.70, 12.011, +0.05, 0.45),
+    "N": ElementInfo("N", 1.55, 14.007, -0.40, 0.30),
+    "O": ElementInfo("O", 1.52, 15.999, -0.50, 0.25),
+    "S": ElementInfo("S", 1.80, 32.06, -0.10, 0.20),
+    "P": ElementInfo("P", 1.80, 30.974, +1.10, 0.30),
+}
+
+#: Atom composition of an "average" protein by element fraction (heavy +
+#: hydrogen), derived from average amino-acid composition.  Used by the
+#: synthetic protein generator.
+PROTEIN_COMPOSITION: Mapping[str, float] = {
+    "H": 0.50,
+    "C": 0.32,
+    "N": 0.085,
+    "O": 0.085,
+    "S": 0.010,
+}
+
+#: Mean heavy-atom packing density of folded proteins, atoms per cubic
+#: Angstrom (all atoms including hydrogens; ~0.1 atoms/A^3 is the standard
+#: estimate for protein interiors).
+PROTEIN_ATOM_DENSITY: float = 0.095
+
+
+def vdw_radius(symbol: str) -> float:
+    """Return the van der Waals radius (Angstrom) for ``symbol``.
+
+    Unknown elements fall back to carbon's radius, matching the forgiving
+    behaviour of most MD input pipelines.
+    """
+    info = ELEMENTS.get(symbol.capitalize())
+    if info is None:
+        info = ELEMENTS["C"]
+    return info.vdw_radius

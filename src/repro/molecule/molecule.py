@@ -1,0 +1,191 @@
+"""The :class:`Molecule` container.
+
+A molecule is stored as a structure of NumPy arrays (positions, radii,
+charges, element codes) rather than a list of atom objects, so that every
+kernel in the package can operate on contiguous vectorised data -- the
+single most important idiom for numerical Python in this domain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from .elements import ELEMENTS, vdw_radius
+
+
+@dataclass
+class Molecule:
+    """A rigid molecule: atom positions, radii and partial charges.
+
+    Attributes
+    ----------
+    positions:
+        ``(N, 3)`` float64 array of atom centres, Angstroms.
+    radii:
+        ``(N,)`` float64 array of intrinsic (van der Waals) radii, Angstroms.
+    charges:
+        ``(N,)`` float64 array of partial charges, units of e.
+    elements:
+        ``(N,)`` array of element symbols (numpy unicode), informational.
+    name:
+        Human-readable identifier, e.g. ``"zdock-017"``.
+    """
+
+    positions: np.ndarray
+    radii: np.ndarray
+    charges: np.ndarray
+    elements: np.ndarray = field(default=None)  # type: ignore[assignment]
+    name: str = "molecule"
+
+    def __post_init__(self) -> None:
+        self.positions = np.ascontiguousarray(self.positions, dtype=np.float64)
+        self.radii = np.ascontiguousarray(self.radii, dtype=np.float64)
+        self.charges = np.ascontiguousarray(self.charges, dtype=np.float64)
+        if self.positions.ndim != 2 or self.positions.shape[1] != 3:
+            raise ValueError(f"positions must be (N, 3), got {self.positions.shape}")
+        n = self.positions.shape[0]
+        if self.radii.shape != (n,):
+            raise ValueError(f"radii must be ({n},), got {self.radii.shape}")
+        if self.charges.shape != (n,):
+            raise ValueError(f"charges must be ({n},), got {self.charges.shape}")
+        if n and not np.all(np.isfinite(self.positions)):
+            raise ValueError("positions contain non-finite values")
+        if n and np.any(self.radii <= 0):
+            raise ValueError("all atomic radii must be positive")
+        if self.elements is None:
+            self.elements = np.full(n, "C", dtype="<U2")
+        else:
+            self.elements = np.asarray(self.elements, dtype="<U2")
+            if self.elements.shape != (n,):
+                raise ValueError(f"elements must be ({n},), got {self.elements.shape}")
+
+    # ------------------------------------------------------------------
+    # basic protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self.positions.shape[0]
+
+    @property
+    def natoms(self) -> int:
+        """Number of atoms."""
+        return self.positions.shape[0]
+
+    def __iter__(self) -> Iterator[tuple[np.ndarray, float, float]]:
+        for i in range(len(self)):
+            yield self.positions[i], float(self.radii[i]), float(self.charges[i])
+
+    # ------------------------------------------------------------------
+    # derived geometry
+    # ------------------------------------------------------------------
+    @property
+    def centroid(self) -> np.ndarray:
+        """Geometric centre of the atom positions, shape ``(3,)``."""
+        if len(self) == 0:
+            return np.zeros(3)
+        return self.positions.mean(axis=0)
+
+    @property
+    def bounding_radius(self) -> float:
+        """Radius of the smallest origin-at-centroid ball covering all atom
+        spheres (centre distance plus atomic radius)."""
+        if len(self) == 0:
+            return 0.0
+        d = np.linalg.norm(self.positions - self.centroid, axis=1)
+        return float(np.max(d + self.radii))
+
+    @property
+    def total_charge(self) -> float:
+        """Net charge of the molecule (units of e)."""
+        return float(self.charges.sum())
+
+    # ------------------------------------------------------------------
+    # transforms (used by the docking-reuse pathway, paper Section IV.C)
+    # ------------------------------------------------------------------
+    def translated(self, offset: Sequence[float]) -> "Molecule":
+        """Return a copy shifted by ``offset`` (length-3)."""
+        off = np.asarray(offset, dtype=np.float64)
+        if off.shape != (3,):
+            raise ValueError("offset must have shape (3,)")
+        return Molecule(self.positions + off, self.radii.copy(),
+                        self.charges.copy(), self.elements.copy(), self.name)
+
+    def rotated(self, rotation: np.ndarray, about: Sequence[float] | None = None) -> "Molecule":
+        """Return a copy rotated by the 3x3 matrix ``rotation``.
+
+        Rotation is applied about ``about`` (default: the centroid), so a
+        pure rotation leaves the molecule in place.
+        """
+        rot = np.asarray(rotation, dtype=np.float64)
+        if rot.shape != (3, 3):
+            raise ValueError("rotation must be a 3x3 matrix")
+        if not np.allclose(rot @ rot.T, np.eye(3), atol=1e-8):
+            raise ValueError("rotation matrix must be orthogonal")
+        pivot = self.centroid if about is None else np.asarray(about, dtype=np.float64)
+        pos = (self.positions - pivot) @ rot.T + pivot
+        return Molecule(pos, self.radii.copy(), self.charges.copy(),
+                        self.elements.copy(), self.name)
+
+    def subset(self, indices: np.ndarray) -> "Molecule":
+        """Return the sub-molecule with the given atom ``indices``."""
+        idx = np.asarray(indices)
+        return Molecule(self.positions[idx], self.radii[idx],
+                        self.charges[idx], self.elements[idx], self.name)
+
+    def merged(self, other: "Molecule", name: str | None = None) -> "Molecule":
+        """Return the union of this molecule and ``other`` (e.g. a
+        receptor-ligand complex)."""
+        return Molecule(
+            np.vstack([self.positions, other.positions]),
+            np.concatenate([self.radii, other.radii]),
+            np.concatenate([self.charges, other.charges]),
+            np.concatenate([self.elements, other.elements]),
+            name or f"{self.name}+{other.name}",
+        )
+
+    # ------------------------------------------------------------------
+    # memory accounting (used by the baseline OOM models)
+    # ------------------------------------------------------------------
+    def nbytes(self) -> int:
+        """Bytes of array payload held by this molecule."""
+        return int(self.positions.nbytes + self.radii.nbytes
+                   + self.charges.nbytes + self.elements.nbytes)
+
+    def validate_physical(self) -> None:
+        """Raise :class:`ValueError` if the molecule is physically odd:
+        wildly large net charge or radii outside known element ranges."""
+        n = len(self)
+        if n == 0:
+            raise ValueError("empty molecule")
+        if abs(self.total_charge) > 0.25 * n:
+            raise ValueError(
+                f"net charge {self.total_charge:.1f} is implausible for {n} atoms")
+        rmin = min(e.vdw_radius for e in ELEMENTS.values())
+        rmax = max(e.vdw_radius for e in ELEMENTS.values())
+        if np.any(self.radii < 0.5 * rmin) or np.any(self.radii > 2.0 * rmax):
+            raise ValueError("atomic radii outside plausible element range")
+
+
+def from_arrays(positions: np.ndarray, *, radii: np.ndarray | None = None,
+                charges: np.ndarray | None = None,
+                elements: Sequence[str] | None = None,
+                name: str = "molecule") -> Molecule:
+    """Convenience constructor filling in defaults.
+
+    Missing radii are looked up per element (carbon if elements are also
+    missing); missing charges default to zero.
+    """
+    pos = np.asarray(positions, dtype=np.float64)
+    n = pos.shape[0]
+    if elements is not None:
+        elem = np.asarray(elements, dtype="<U2")
+    else:
+        elem = np.full(n, "C", dtype="<U2")
+    if radii is None:
+        radii = np.array([vdw_radius(e) for e in elem], dtype=np.float64)
+    if charges is None:
+        charges = np.zeros(n, dtype=np.float64)
+    return Molecule(pos, np.asarray(radii, dtype=np.float64),
+                    np.asarray(charges, dtype=np.float64), elem, name)

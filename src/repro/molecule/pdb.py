@@ -1,0 +1,103 @@
+"""Minimal PDB reader/writer.
+
+Only the fixed-column ``ATOM``/``HETATM`` records are handled -- enough to
+ingest real protein structures when they are available and to round-trip
+our synthetic molecules for inspection with external tools.  Charges are
+not part of the PDB format; atoms read from PDB get zero charge unless a
+``charge_lookup`` is supplied (use PQR for charged input).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Callable, Iterable
+
+import numpy as np
+
+from .elements import vdw_radius
+from .molecule import Molecule
+
+
+def _element_from_record(line: str) -> str:
+    """Extract the element symbol from a PDB ATOM record.
+
+    Columns 77-78 carry the element when present; otherwise we fall back to
+    the first alphabetic character of the atom name (columns 13-16), the
+    conventional heuristic.
+    """
+    elem = line[76:78].strip() if len(line) >= 78 else ""
+    if elem:
+        return elem.capitalize()
+    name = line[12:16].strip()
+    for ch in name:
+        if ch.isalpha():
+            return ch.upper()
+    return "C"
+
+
+def read_pdb(path: str | Path, *,
+             charge_lookup: Callable[[str], float] | None = None,
+             name: str | None = None) -> Molecule:
+    """Parse a PDB file into a :class:`Molecule`.
+
+    Parameters
+    ----------
+    path:
+        File to read.
+    charge_lookup:
+        Optional map from element symbol to partial charge; default is all
+        zeros (PDB carries no charges).
+    name:
+        Molecule name; defaults to the file stem.
+    """
+    path = Path(path)
+    positions: list[tuple[float, float, float]] = []
+    elements: list[str] = []
+    with path.open() as fh:
+        for line in fh:
+            if not line.startswith(("ATOM  ", "HETATM")):
+                continue
+            try:
+                x = float(line[30:38])
+                y = float(line[38:46])
+                z = float(line[46:54])
+            except ValueError as exc:
+                raise ValueError(f"malformed coordinate columns: {line!r}") from exc
+            positions.append((x, y, z))
+            elements.append(_element_from_record(line))
+    if not positions:
+        raise ValueError(f"no ATOM/HETATM records found in {path}")
+    elem = np.asarray(elements, dtype="<U2")
+    radii = np.array([vdw_radius(e) for e in elem])
+    if charge_lookup is not None:
+        charges = np.array([charge_lookup(e) for e in elem])
+    else:
+        charges = np.zeros(len(elem))
+    return Molecule(np.asarray(positions), radii, charges, elem,
+                    name or path.stem)
+
+
+def write_pdb(molecule: Molecule, path: str | Path) -> None:
+    """Write ``molecule`` as minimal ATOM records (one chain, one residue
+    type per atom)."""
+    path = Path(path)
+    with path.open("w") as fh:
+        for i in range(len(molecule)):
+            x, y, z = molecule.positions[i]
+            e = str(molecule.elements[i])
+            fh.write(
+                f"ATOM  {i + 1:>5d} {e:<4s}MOL A{1:>4d}    "
+                f"{x:8.3f}{y:8.3f}{z:8.3f}{1.0:6.2f}{0.0:6.2f}"
+                f"          {e:>2s}\n"
+            )
+        fh.write("END\n")
+
+
+def iter_pdb_lines(molecule: Molecule) -> Iterable[str]:
+    """Yield ATOM record lines for ``molecule`` without touching disk."""
+    for i in range(len(molecule)):
+        x, y, z = molecule.positions[i]
+        e = str(molecule.elements[i])
+        yield (f"ATOM  {i + 1:>5d} {e:<4s}MOL A{1:>4d}    "
+               f"{x:8.3f}{y:8.3f}{z:8.3f}{1.0:6.2f}{0.0:6.2f}"
+               f"          {e:>2s}")

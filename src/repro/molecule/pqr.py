@@ -1,0 +1,65 @@
+"""Minimal PQR reader/writer.
+
+PQR is the charge- and radius-bearing variant of PDB used by Poisson-
+Boltzmann and GB tools (APBS, pdb2pqr).  The format is whitespace-separated:
+
+    ATOM  serial name resName resSeq  x y z  charge radius
+
+This is the preferred on-disk interchange format for this package because
+it carries everything :class:`~repro.molecule.molecule.Molecule` needs.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from .molecule import Molecule
+
+
+def read_pqr(path: str | Path, *, name: str | None = None) -> Molecule:
+    """Parse a PQR file into a :class:`Molecule`."""
+    path = Path(path)
+    positions: list[tuple[float, float, float]] = []
+    charges: list[float] = []
+    radii: list[float] = []
+    elements: list[str] = []
+    with path.open() as fh:
+        for lineno, line in enumerate(fh, 1):
+            if not line.startswith(("ATOM", "HETATM")):
+                continue
+            fields = line.split()
+            # ATOM serial name resName [chain] resSeq x y z q r
+            if len(fields) < 10:
+                raise ValueError(f"{path}:{lineno}: too few fields in PQR record")
+            try:
+                x, y, z, q, r = (float(v) for v in fields[-5:])
+            except ValueError as exc:
+                raise ValueError(f"{path}:{lineno}: malformed numeric fields") from exc
+            positions.append((x, y, z))
+            charges.append(q)
+            radii.append(r)
+            atom_name = fields[2]
+            elements.append(next((c for c in atom_name if c.isalpha()), "C").upper())
+    if not positions:
+        raise ValueError(f"no ATOM/HETATM records found in {path}")
+    return Molecule(np.asarray(positions), np.asarray(radii),
+                    np.asarray(charges), np.asarray(elements, dtype="<U2"),
+                    name or path.stem)
+
+
+def write_pqr(molecule: Molecule, path: str | Path) -> None:
+    """Write ``molecule`` in PQR format."""
+    path = Path(path)
+    with path.open("w") as fh:
+        for i in range(len(molecule)):
+            x, y, z = molecule.positions[i]
+            q = molecule.charges[i]
+            r = molecule.radii[i]
+            e = str(molecule.elements[i])
+            fh.write(
+                f"ATOM  {i + 1:>5d} {e:<4s} MOL  {1:>4d}    "
+                f"{x:10.4f} {y:10.4f} {z:10.4f} {q:8.4f} {r:7.4f}\n"
+            )
+        fh.write("END\n")

@@ -1,0 +1,93 @@
+"""ZDock-Benchmark-2.0 analogue registry.
+
+The paper evaluates on the bound proteins of the ZDock Benchmark Suite 2.0:
+84 complexes / 168 proteins, 400 to ~16,301 atoms.  We register 84 analogue
+proteins whose sizes follow the same log-uniform span, including the exact
+anchor sizes the paper calls out (2,260 atoms -- Gromacs' peak-speedup
+molecule -- and 16,301 atoms -- the largest, where OCT_MPI hits 11x over
+Amber).
+
+Molecules are generated lazily and cached per (index, size), so an
+experiment touching five molecules does not pay for 84.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Iterator
+
+import numpy as np
+
+from ..config import DEFAULT_SEED
+from .generators import protein_blob
+from .molecule import Molecule
+
+#: Number of complexes in ZDock Benchmark 2.0.
+N_COMPLEXES = 84
+
+#: Paper-reported extreme and anchor sizes.
+MIN_ATOMS = 400
+MAX_ATOMS = 16_301
+GROMACS_PEAK_ATOMS = 2_260
+
+
+@dataclass(frozen=True)
+class BenchmarkEntry:
+    """One registered benchmark molecule: an index, a name and a size."""
+
+    index: int
+    name: str
+    natoms: int
+
+
+def _size_schedule() -> list[int]:
+    """Deterministic list of 84 sizes spanning [400, 16301] log-uniformly,
+    with the paper's anchor sizes pinned at fixed slots."""
+    sizes = np.unique(np.round(np.exp(
+        np.linspace(np.log(MIN_ATOMS), np.log(MAX_ATOMS), N_COMPLEXES)
+    )).astype(int))
+    sizes = list(sizes)
+    while len(sizes) < N_COMPLEXES:  # de-dup may shrink the list slightly
+        sizes.append(sizes[-1] + 137)
+    sizes = sorted(sizes[:N_COMPLEXES])
+    # Pin anchors: replace nearest entries with the exact paper sizes.
+    for anchor in (MIN_ATOMS, GROMACS_PEAK_ATOMS, MAX_ATOMS):
+        nearest = min(range(len(sizes)), key=lambda i: abs(sizes[i] - anchor))
+        sizes[nearest] = anchor
+    return sizes
+
+
+_SIZES = _size_schedule()
+
+
+def entries() -> list[BenchmarkEntry]:
+    """All 84 registered benchmark entries, ordered by size."""
+    return [BenchmarkEntry(i, f"zdock-{i:03d}", n) for i, n in enumerate(_SIZES)]
+
+
+@lru_cache(maxsize=None)
+def molecule(index: int) -> Molecule:
+    """Materialise benchmark molecule ``index`` (deterministic)."""
+    if not 0 <= index < N_COMPLEXES:
+        raise IndexError(f"benchmark index must be in [0, {N_COMPLEXES}), got {index}")
+    entry = entries()[index]
+    return protein_blob(entry.natoms, seed=DEFAULT_SEED + index, name=entry.name)
+
+
+def molecules(*, max_atoms: int | None = None,
+              stride: int = 1) -> Iterator[Molecule]:
+    """Iterate benchmark molecules, optionally capped by size and strided.
+
+    ``stride`` lets fast test/bench configurations sample the suite (e.g.
+    every 8th molecule) without changing which molecules exist.
+    """
+    for entry in entries()[::stride]:
+        if max_atoms is not None and entry.natoms > max_atoms:
+            continue
+        yield molecule(entry.index)
+
+
+def suite_sizes() -> list[int]:
+    """The registered size schedule (useful for labelling figures)."""
+    return list(_SIZES)

@@ -1,0 +1,45 @@
+"""Cache-friendly array-backed octrees and traversal engines."""
+
+from .aggregate import (node_charges, node_counts, node_histograms, node_sums,
+                        pseudo_normals)
+from .build import build_octree
+from .mac import (born_error_bound, born_mac_multiplier, epol_mac_multiplier,
+                  is_far)
+from .morton import decode as morton_decode
+from .morton import encode as morton_encode
+from .morton import sort_order as morton_sort_order
+from .octree import Octree
+from .partition import (imbalance, segment_by_weight, segment_leaf_bounds,
+                        segment_leaves, segment_points, segment_range)
+from .transform import transformed_octree
+from .traversal import (Classification, classify_against_ball,
+                        classify_reference, dual_tree_pairs, expand_children)
+
+__all__ = [
+    "Classification",
+    "Octree",
+    "born_error_bound",
+    "born_mac_multiplier",
+    "build_octree",
+    "classify_against_ball",
+    "classify_reference",
+    "dual_tree_pairs",
+    "epol_mac_multiplier",
+    "expand_children",
+    "imbalance",
+    "is_far",
+    "morton_decode",
+    "morton_encode",
+    "morton_sort_order",
+    "node_charges",
+    "node_counts",
+    "node_histograms",
+    "node_sums",
+    "pseudo_normals",
+    "segment_by_weight",
+    "segment_leaf_bounds",
+    "segment_leaves",
+    "segment_points",
+    "segment_range",
+    "transformed_octree",
+]

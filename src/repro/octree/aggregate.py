@@ -1,0 +1,73 @@
+"""Per-node aggregates (multipole-like moments) over octree slices.
+
+Because every node owns a contiguous slice of the permuted point array,
+any per-node sum of per-point values reduces to two gathers into a prefix
+sum -- O(N) for the prefix plus O(M) for the nodes, with no Python-level
+loop over nodes.  These aggregates are the "pseudo-atom" and
+"pseudo-q-point" quantities of paper Fig. 2 and the per-node charge
+histograms ``q_U[k]`` of Fig. 3.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .octree import Octree
+
+
+def node_sums(tree: Octree, values: np.ndarray) -> np.ndarray:
+    """Sum ``values`` (per original point id) over every node.
+
+    ``values`` may be ``(N,)`` or ``(N, d)``; the result is ``(M,)`` or
+    ``(M, d)`` accordingly.
+    """
+    vals = np.asarray(values, dtype=np.float64)
+    if vals.shape[0] != tree.npoints:
+        raise ValueError("values must have one row per point")
+    sorted_vals = vals[tree.perm]
+    if sorted_vals.ndim == 1:
+        prefix = np.concatenate([[0.0], np.cumsum(sorted_vals)])
+    else:
+        prefix = np.vstack([np.zeros((1, sorted_vals.shape[1])),
+                            np.cumsum(sorted_vals, axis=0)])
+    return prefix[tree.point_end] - prefix[tree.point_start]
+
+
+def node_counts(tree: Octree) -> np.ndarray:
+    """Number of points under every node, shape ``(M,)``."""
+    return tree.point_end - tree.point_start
+
+
+def pseudo_normals(tree: Octree, normals: np.ndarray,
+                   weights: np.ndarray) -> np.ndarray:
+    """The per-node weighted normal sums ``ñ_Q = sum_q w_q n_q`` of Fig. 2,
+    shape ``(M, 3)``."""
+    return node_sums(tree, weights[:, None] * np.asarray(normals, dtype=np.float64))
+
+
+def node_charges(tree: Octree, charges: np.ndarray) -> np.ndarray:
+    """Total charge under every node, shape ``(M,)``."""
+    return node_sums(tree, charges)
+
+
+def node_histograms(tree: Octree, bin_index: np.ndarray, weights: np.ndarray,
+                    nbins: int) -> np.ndarray:
+    """Per-node weighted histograms, shape ``(M, nbins)``.
+
+    ``bin_index`` assigns each point to a bin in ``[0, nbins)``; the result
+    row for node ``v`` is ``sum of weights of v's points per bin`` -- the
+    charge histogram ``q_U[k]`` used by the far-field energy rule.
+    Implemented as a one-hot prefix sum: O(N * nbins) memory, no node loop.
+    """
+    bins = np.asarray(bin_index)
+    if bins.shape != (tree.npoints,):
+        raise ValueError("bin_index must be (N,)")
+    if nbins < 1:
+        raise ValueError("nbins must be >= 1")
+    if bins.min(initial=0) < 0 or bins.max(initial=0) >= nbins:
+        raise ValueError("bin_index out of range")
+    w = np.asarray(weights, dtype=np.float64)
+    onehot = np.zeros((tree.npoints + 1, nbins))
+    onehot[np.arange(1, tree.npoints + 1), bins[tree.perm]] = w[tree.perm]
+    prefix = np.cumsum(onehot, axis=0)
+    return prefix[tree.point_end] - prefix[tree.point_start]

@@ -1,0 +1,85 @@
+"""Multipole acceptance criteria (MAC) for the two traversals.
+
+Both criteria come straight from the paper:
+
+* **Born-radii MAC** (Section II / Fig. 2): nodes ``A`` (atoms) and ``Q``
+  (quadrature points) are *far* when
+
+  .. math:: r_{AQ} > (r_A + r_Q) \\cdot \\frac{\\kappa + 1}{\\kappa - 1},
+            \\qquad \\kappa = (1 + \\epsilon)^{1/6}.
+
+  Equivalently ``(r_AQ + s) / (r_AQ - s) <= kappa`` with ``s = r_A + r_Q``:
+  the ratio of the largest to the smallest possible point-pair distance is
+  at most ``kappa``, so every term ``1/d^6`` in the cell-cell sum is within
+  a factor ``(1+eps)`` of the value at the centre distance.  (The poster's
+  Fig. 2 pseudo-code prints the comparison with ``>``; the prose in
+  Section II gives the distance form we implement, and only that direction
+  yields a bounded-error far-field rule.)
+
+* **Energy MAC** (Fig. 3): ``U`` and ``V`` are far when
+  ``r_UV > (r_U + r_V) * (1 + 2/eps)``.
+
+Larger ``eps`` accepts more node pairs as far, trading accuracy for speed
+(paper Section V.E).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def born_mac_multiplier(eps: float, *, variant: str = "practical") -> float:
+    """The separation multiplier of the Born MAC.
+
+    Two variants are provided because the paper's prose and its measured
+    performance point at different criteria:
+
+    * ``"theory"`` -- the Section II formula with ``kappa = (1+eps)^(1/6)``:
+      multiplier ``(kappa+1)/(kappa-1)`` (18.7 at eps = 0.9).  This bounds
+      every far term's *worst-case* relative error by ``eps``, but it is so
+      strict that on the 509,640-atom CMV shell it leaves ~220G exact pairs
+      -- tens of minutes on 12 Westmere cores, irreconcilable with the
+      paper's measured 12.5 s (Fig. 11).
+    * ``"practical"`` (default) -- ``kappa = 1 + eps``: multiplier
+      ``(2+eps)/eps`` (3.2 at eps = 0.9), the same form as Fig. 3's energy
+      MAC ``1 + 2/eps``.  The per-term worst-case bound is looser, but the
+      centroid (pseudo-point) approximation's *actual* error is O((s/d)^2)
+      with heavy cancellation, and measured energies stay well under 1% --
+      matching both the paper's accuracy and its speed.
+
+    See DESIGN.md for the full argument.
+    """
+    if eps <= 0:
+        raise ValueError("eps must be positive (eps -> 0 disables approximation)")
+    if variant == "practical":
+        kappa = 1.0 + eps
+    elif variant == "theory":
+        kappa = (1.0 + eps) ** (1.0 / 6.0)
+    else:
+        raise ValueError(f"unknown Born MAC variant {variant!r}")
+    return (kappa + 1.0) / (kappa - 1.0)
+
+
+def epol_mac_multiplier(eps: float) -> float:
+    """The separation multiplier ``1 + 2/eps`` of the energy MAC."""
+    if eps <= 0:
+        raise ValueError("eps must be positive (eps -> 0 disables approximation)")
+    return 1.0 + 2.0 / eps
+
+
+def is_far(dist: np.ndarray, radius_a: np.ndarray, radius_b: np.ndarray,
+           multiplier: float) -> np.ndarray:
+    """Vectorised far test: ``dist > multiplier * (radius_a + radius_b)``.
+
+    ``multiplier`` is always > 1 for valid ``eps``, so a far pair is also
+    guaranteed non-overlapping (``dist > radius_a + radius_b``), which the
+    pseudo-code checks separately.
+    """
+    return dist > multiplier * (radius_a + radius_b)
+
+
+def born_error_bound(eps: float) -> float:
+    """Worst-case relative error of one far-field ``1/d^6`` term under the
+    Born MAC: the MAC guarantees ``(d_max/d_min)^6 <= 1 + eps``, so each
+    term is within ``eps`` relative error of the truth."""
+    return float(eps)

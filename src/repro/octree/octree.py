@@ -1,0 +1,181 @@
+"""The array-backed octree container.
+
+Nodes live in flat NumPy arrays (structure-of-arrays), children of a node
+are contiguous, and the underlying points are permuted so every node owns a
+contiguous slice -- the Python analogue of the cache-friendly layout the
+paper attributes to octrees.  All per-node quantities the traversal kernels
+need (cube geometry, enclosing-ball centre/radius, point slices) are plain
+arrays, so the kernels can evaluate the multipole acceptance criterion for
+a whole frontier of nodes in one vectorised expression.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class Octree:
+    """An adaptive octree over a fixed set of 3-D points.
+
+    Node 0 is the root.  Children of an internal node are stored
+    contiguously starting at ``first_child``; leaves have ``child_count ==
+    0``.  ``perm`` maps sorted-point positions back to original point ids:
+    node ``v`` owns original points ``perm[point_start[v]:point_end[v]]``.
+
+    Attributes
+    ----------
+    points:
+        ``(N, 3)`` the original (un-permuted) points.
+    perm:
+        ``(N,)`` permutation described above.
+    cube_center / cube_half:
+        Geometry of each node's cube.
+    ball_center:
+        ``(M, 3)`` geometric centre of the points under each node (this is
+        the "pseudo-atom"/"pseudo-q-point" centre of paper Fig. 2).
+    ball_radius:
+        ``(M,)`` radius of the smallest ball centred at ``ball_center``
+        containing all points under the node.
+    first_child / child_count / parent / level:
+        Tree topology; ``parent[0] == -1``.
+    point_start / point_end:
+        ``(M,)`` slice bounds into ``perm``.
+    """
+
+    points: np.ndarray
+    perm: np.ndarray
+    cube_center: np.ndarray
+    cube_half: np.ndarray
+    ball_center: np.ndarray
+    ball_radius: np.ndarray
+    first_child: np.ndarray
+    child_count: np.ndarray
+    parent: np.ndarray
+    level: np.ndarray
+    point_start: np.ndarray
+    point_end: np.ndarray
+    leaf_cap: int = 0
+    _leaves: np.ndarray | None = field(default=None, repr=False)
+    _sorted_points: np.ndarray | None = field(default=None, repr=False)
+
+    # ------------------------------------------------------------------
+    # basic shape
+    # ------------------------------------------------------------------
+    @property
+    def nnodes(self) -> int:
+        """Number of octree nodes."""
+        return self.cube_center.shape[0]
+
+    @property
+    def npoints(self) -> int:
+        """Number of points stored in the tree."""
+        return self.points.shape[0]
+
+    @property
+    def depth(self) -> int:
+        """Maximum node level (root is level 0)."""
+        return int(self.level.max()) if self.nnodes else 0
+
+    def is_leaf(self, v: int | np.ndarray) -> np.ndarray | bool:
+        """Whether node(s) ``v`` are leaves."""
+        return self.child_count[v] == 0
+
+    @property
+    def leaves(self) -> np.ndarray:
+        """Ids of all leaf nodes, in depth-first (spatial) order."""
+        if self._leaves is None:
+            self._leaves = np.flatnonzero(self.child_count == 0)
+        return self._leaves
+
+    def children(self, v: int) -> np.ndarray:
+        """Ids of the children of node ``v`` (empty for leaves)."""
+        fc = self.first_child[v]
+        return np.arange(fc, fc + self.child_count[v])
+
+    def node_point_count(self, v: int | np.ndarray) -> np.ndarray | int:
+        """Number of points under node(s) ``v``."""
+        return self.point_end[v] - self.point_start[v]
+
+    def node_points(self, v: int) -> np.ndarray:
+        """Original ids of the points under node ``v``."""
+        return self.perm[self.point_start[v]:self.point_end[v]]
+
+    @property
+    def sorted_points(self) -> np.ndarray:
+        """Points permuted into tree order (cached); ``sorted_points[i] ==
+        points[perm[i]]``.  Kernels slice this contiguously per node."""
+        if self._sorted_points is None:
+            self._sorted_points = np.ascontiguousarray(self.points[self.perm])
+        return self._sorted_points
+
+    # ------------------------------------------------------------------
+    # derived structure
+    # ------------------------------------------------------------------
+    def nodes_by_level(self) -> list[np.ndarray]:
+        """Node ids grouped by level, root first."""
+        out = []
+        for lvl in range(self.depth + 1):
+            out.append(np.flatnonzero(self.level == lvl))
+        return out
+
+    def leaf_of_point(self) -> np.ndarray:
+        """For every original point id, the id of the leaf that owns it."""
+        owner = np.empty(self.npoints, dtype=np.int64)
+        for v in self.leaves:
+            owner[self.perm[self.point_start[v]:self.point_end[v]]] = v
+        return owner
+
+    def ancestors(self, v: int) -> list[int]:
+        """Ancestors of ``v`` from its parent up to the root."""
+        out = []
+        p = int(self.parent[v])
+        while p != -1:
+            out.append(p)
+            p = int(self.parent[p])
+        return out
+
+    # ------------------------------------------------------------------
+    # accounting
+    # ------------------------------------------------------------------
+    def nbytes(self) -> int:
+        """Bytes of array payload -- the paper's space argument: linear in
+        the point count, independent of any approximation parameter."""
+        total = self.points.nbytes + self.perm.nbytes
+        for arr in (self.cube_center, self.cube_half, self.ball_center,
+                    self.ball_radius, self.first_child, self.child_count,
+                    self.parent, self.level, self.point_start, self.point_end):
+            total += arr.nbytes
+        return int(total)
+
+    def validate(self) -> None:
+        """Structural invariants; raises AssertionError on violation.
+
+        Used by tests and safe to call on any built tree: every node's
+        slice is the concatenation of its children's slices, points lie
+        inside their node's cube (within epsilon) and within the enclosing
+        ball, and leaf sizes respect the cap.
+        """
+        assert self.point_start[0] == 0 and self.point_end[0] == self.npoints
+        sp = self.sorted_points
+        for v in range(self.nnodes):
+            s, e = self.point_start[v], self.point_end[v]
+            assert s <= e
+            if self.child_count[v]:
+                ch = self.children(v)
+                assert self.point_start[ch[0]] == s
+                assert self.point_end[ch[-1]] == e
+                assert np.all(self.point_end[ch[:-1]] == self.point_start[ch[1:]])
+                assert np.all(self.parent[ch] == v)
+            elif self.leaf_cap and e - s > self.leaf_cap:
+                # Leaves may exceed the cap only at max depth (coincident
+                # points); flag the common error of not splitting at all.
+                assert self.level[v] > 0, "oversized root leaf"
+            if e > s:
+                pts = sp[s:e]
+                d = np.linalg.norm(pts - self.ball_center[v], axis=1)
+                assert np.all(d <= self.ball_radius[v] + 1e-9)
+                assert np.all(np.abs(pts - self.cube_center[v])
+                              <= self.cube_half[v] + 1e-9)

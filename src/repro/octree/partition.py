@@ -1,0 +1,128 @@
+"""Work-partitioning schemes over octrees and atom ranges.
+
+The paper's Section IV.A compares several static work-division schemes.
+This module implements the primitives they are built from:
+
+* :func:`segment_range` -- split ``[0, n)`` into ``P`` near-equal ranges
+  (ATOM-BASED-WORK-DIVISION);
+* :func:`segment_leaves` -- split the leaf list of an octree into ``P``
+  contiguous segments balanced by the number of points under the leaves
+  (NODE-BASED-WORK-DIVISION).  Leaves are in depth-first order, which is
+  also space-filling-curve order, so contiguous segments are spatially
+  compact -- the property the SFC load-balancing literature cited by the
+  paper relies on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .octree import Octree
+
+
+def segment_range(n: int, nparts: int) -> list[tuple[int, int]]:
+    """Split ``range(n)`` into ``nparts`` contiguous near-equal pieces.
+
+    The first ``n % nparts`` pieces get one extra element; empty pieces are
+    produced when ``nparts > n`` (callers must tolerate idle workers).
+    """
+    if nparts < 1:
+        raise ValueError("nparts must be >= 1")
+    base, extra = divmod(n, nparts)
+    bounds = []
+    start = 0
+    for i in range(nparts):
+        size = base + (1 if i < extra else 0)
+        bounds.append((start, start + size))
+        start += size
+    return bounds
+
+
+def segment_by_weight(weights: np.ndarray, nparts: int) -> list[tuple[int, int]]:
+    """Split items into ``nparts`` contiguous segments with near-equal
+    total ``weights``.
+
+    Greedy prefix cut: segment ``i`` ends at the first position where the
+    cumulative weight reaches ``(i+1)/nparts`` of the total.  This is the
+    classic 1-D balanced-partition heuristic used for SFC-ordered octree
+    leaves.
+    """
+    if nparts < 1:
+        raise ValueError("nparts must be >= 1")
+    w = np.asarray(weights, dtype=np.float64)
+    n = len(w)
+    if n == 0:
+        return [(0, 0)] * nparts
+    if np.any(w < 0):
+        raise ValueError("weights must be non-negative")
+    cum = np.cumsum(w)
+    total = cum[-1]
+    if total == 0:
+        return segment_range(n, nparts)
+    targets = total * (np.arange(1, nparts + 1) / nparts)
+    cuts = np.searchsorted(cum, targets, side="left") + 1
+    cuts = np.minimum(cuts, n)
+    cuts[-1] = n
+    bounds = []
+    start = 0
+    for c in cuts:
+        end = max(int(c), start)
+        bounds.append((start, end))
+        start = end
+    return bounds
+
+
+def segment_leaf_bounds(tree: Octree, nparts: int,
+                        *, balance: str = "points") -> list[tuple[int, int]]:
+    """Index bounds into ``tree.leaves`` for :func:`segment_leaves`' parts.
+
+    Exposed separately so callers holding per-leaf side arrays (cost
+    profiles) can slice them with the same boundaries.
+    """
+    leaves = tree.leaves
+    if balance == "points":
+        weights = (tree.point_end[leaves] - tree.point_start[leaves]).astype(float)
+        return segment_by_weight(weights, nparts)
+    if balance == "count":
+        return segment_range(len(leaves), nparts)
+    raise ValueError(f"unknown balance mode {balance!r}")
+
+
+def segment_leaves(tree: Octree, nparts: int,
+                   *, balance: str = "points") -> list[np.ndarray]:
+    """Split the leaves of ``tree`` into ``nparts`` contiguous segments.
+
+    Parameters
+    ----------
+    tree:
+        The octree whose leaves are divided.
+    nparts:
+        Number of segments (MPI processes).
+    balance:
+        ``"points"`` balances the number of points under the leaves (the
+        proxy for per-leaf work the paper's static scheme uses);
+        ``"count"`` balances the number of leaves.
+
+    Returns
+    -------
+    list of arrays of leaf node ids, one per part (possibly empty).
+    """
+    bounds = segment_leaf_bounds(tree, nparts, balance=balance)
+    return [tree.leaves[s:e] for s, e in bounds]
+
+
+def segment_points(tree: Octree, nparts: int) -> list[np.ndarray]:
+    """Split original point ids into ``nparts`` equal ranges by id --
+    the paper's ATOM-BASED division.  Unlike node-based division this can
+    split a tree node across parts, which is why its error drifts with
+    ``nparts`` (Section IV.A); tests assert exactly that contrast."""
+    return [np.arange(s, e, dtype=np.int64)
+            for s, e in segment_range(tree.npoints, nparts)]
+
+
+def imbalance(loads: np.ndarray) -> float:
+    """Load imbalance factor ``max/mean`` (1.0 is perfect)."""
+    loads = np.asarray(loads, dtype=np.float64)
+    if len(loads) == 0 or loads.mean() == 0:
+        return 1.0
+    return float(loads.max() / loads.mean())

@@ -1,0 +1,71 @@
+"""Rigid-body transforms of built octrees.
+
+Paper Section IV.C: "for drug-design and docking where we need to place the
+ligand at thousands of different positions w.r.t. the receptor, we can move
+the same octree to different positions or rotate it as needed by
+multiplying with proper transformation matrices" -- i.e. octree
+construction is a pre-processing cost paid once per rigid body.
+
+A rigid transform preserves everything the traversal kernels consume:
+topology, point slices, enclosing-ball radii (rotation-invariant) and ball
+centres (transformed along with the points).  The axis-aligned cube
+geometry is only exact for pure translations; after a rotation the stored
+cubes are bounding *approximations* (still valid balls-wise), which is fine
+because the MAC only uses balls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+
+from .octree import Octree
+
+
+def transformed_octree(tree: Octree, *, rotation: np.ndarray | None = None,
+                       translation: np.ndarray | None = None,
+                       pivot: np.ndarray | None = None) -> Octree:
+    """Return a copy of ``tree`` under ``x -> R (x - pivot) + pivot + t``.
+
+    Parameters
+    ----------
+    tree:
+        A built octree.
+    rotation:
+        Optional 3x3 orthogonal matrix ``R``.
+    translation:
+        Optional length-3 offset ``t``.
+    pivot:
+        Rotation pivot; defaults to the root's ball centre (so a pure
+        rotation spins the molecule in place).
+    """
+    if rotation is None and translation is None:
+        raise ValueError("provide a rotation and/or a translation")
+    rot = None
+    if rotation is not None:
+        rot = np.asarray(rotation, dtype=np.float64)
+        if rot.shape != (3, 3):
+            raise ValueError("rotation must be 3x3")
+        if not np.allclose(rot @ rot.T, np.eye(3), atol=1e-8):
+            raise ValueError("rotation must be orthogonal")
+    t = np.zeros(3) if translation is None else np.asarray(translation, dtype=np.float64)
+    if t.shape != (3,):
+        raise ValueError("translation must be length 3")
+    p = tree.ball_center[0] if pivot is None else np.asarray(pivot, dtype=np.float64)
+
+    def apply(x: np.ndarray) -> np.ndarray:
+        if rot is not None:
+            return (x - p) @ rot.T + p + t
+        return x + t
+
+    return replace(
+        tree,
+        points=apply(tree.points),
+        cube_center=apply(tree.cube_center),
+        ball_center=apply(tree.ball_center),
+        perm=tree.perm.copy(),
+        ball_radius=tree.ball_radius.copy(),
+        _sorted_points=None,
+        _leaves=None,
+    )

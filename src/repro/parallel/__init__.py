@@ -1,0 +1,32 @@
+"""Parallel substrates: machine models, simulated MPI, simulated cilk++
+work stealing, and the hybrid runners of the paper's Fig. 4."""
+
+from .cost import CostModel, MemoryModel
+from .datadist import (DataDistribution, HaloPlan, analyze_distribution,
+                       born_partial_from_halo, plan_halos)
+from .hybrid import (ParallelRunConfig, ParallelRunResult, run_oct_cilk,
+                     run_parallel, run_variant, simulate_layout_timing)
+from .machine import (LONESTAR4, LONESTAR4_NETWORK, MachineSpec, NetworkSpec,
+                      RankLayout, layout_for_cores)
+
+__all__ = [
+    "CostModel",
+    "DataDistribution",
+    "HaloPlan",
+    "analyze_distribution",
+    "born_partial_from_halo",
+    "plan_halos",
+    "LONESTAR4",
+    "LONESTAR4_NETWORK",
+    "MachineSpec",
+    "MemoryModel",
+    "NetworkSpec",
+    "ParallelRunConfig",
+    "ParallelRunResult",
+    "RankLayout",
+    "layout_for_cores",
+    "run_oct_cilk",
+    "run_parallel",
+    "run_variant",
+    "simulate_layout_timing",
+]

@@ -1,0 +1,21 @@
+"""Simulated cilk++ randomized work stealing."""
+
+from .deque import WorkDeque
+from .metrics import WorkSpan, analyze, within_steal_bound
+from .scheduler import ScheduleResult, simulate_work_stealing
+from .task import RangeTask, T_SPAWN, T_STEAL, T_TASK, default_grain, range_tree_span
+
+__all__ = [
+    "RangeTask",
+    "ScheduleResult",
+    "T_SPAWN",
+    "T_STEAL",
+    "T_TASK",
+    "WorkDeque",
+    "WorkSpan",
+    "analyze",
+    "default_grain",
+    "range_tree_span",
+    "simulate_work_stealing",
+    "within_steal_bound",
+]

@@ -1,0 +1,44 @@
+"""Work-stealing deques (the cilk++ THE-protocol data structure, modelled).
+
+Owners push and pop at the *bottom* (LIFO -- hot, cache-resident work);
+thieves steal from the *top* (FIFO -- the oldest, largest outstanding
+subcomputation).  Stealing the oldest entry is what the paper credits for
+cilk++'s cache behaviour: the thief takes the work whose data the victim
+touched longest ago.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Generic, TypeVar
+
+T = TypeVar("T")
+
+
+class WorkDeque(Generic[T]):
+    """A double-ended work queue."""
+
+    def __init__(self) -> None:
+        self._items: deque[T] = deque()
+
+    def push_bottom(self, item: T) -> None:
+        """Owner adds newly spawned work."""
+        self._items.append(item)
+
+    def pop_bottom(self) -> T | None:
+        """Owner takes its most recent work; None when empty."""
+        if self._items:
+            return self._items.pop()
+        return None
+
+    def steal_top(self) -> T | None:
+        """Thief takes the oldest work; None when empty."""
+        if self._items:
+            return self._items.popleft()
+        return None
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __bool__(self) -> bool:
+        return bool(self._items)

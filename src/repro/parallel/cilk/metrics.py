@@ -1,0 +1,46 @@
+"""Work/span analysis helpers for the work-stealing simulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .scheduler import ScheduleResult
+from .task import default_grain, range_tree_span
+
+
+@dataclass(frozen=True)
+class WorkSpan:
+    """Work (T_1), span (T_inf) and parallelism of a task set."""
+
+    work: float
+    span: float
+
+    @property
+    def parallelism(self) -> float:
+        """T_1 / T_inf: the maximum useful worker count."""
+        return self.work / self.span if self.span > 0 else float("inf")
+
+    def greedy_bound(self, nworkers: int) -> float:
+        """The greedy-scheduler bound ``T_1/p + T_inf`` that randomized
+        work stealing meets in expectation (Blumofe & Leiserson)."""
+        return self.work / nworkers + self.span
+
+
+def analyze(costs: np.ndarray, nworkers: int,
+            grain: int | None = None) -> WorkSpan:
+    """Work/span of the balanced range tree over ``costs``."""
+    costs = np.asarray(costs, dtype=np.float64)
+    if grain is None:
+        grain = default_grain(max(len(costs), 1), nworkers)
+    from .task import T_TASK  # local import avoids a cycle at module load
+    work = float(costs.sum()) + len(costs) * T_TASK
+    return WorkSpan(work=work, span=range_tree_span(costs, grain))
+
+
+def within_steal_bound(result: ScheduleResult, ws: WorkSpan, *,
+                       slack: float = 4.0) -> bool:
+    """Whether a simulated schedule respects ``T_p <= T_1/p + slack*T_inf``
+    (the randomized-work-stealing guarantee up to a constant)."""
+    return result.makespan <= ws.work / result.workers + slack * ws.span

@@ -1,0 +1,175 @@
+"""Discrete-event simulation of cilk++'s randomized work stealing.
+
+``p`` workers execute a balanced binary range tree over per-leaf task
+costs.  A worker descends a range leftward, pushing right halves onto its
+deque (each push costs :data:`~repro.parallel.cilk.task.T_SPAWN`); it then
+executes the grain-sized chunk it bottomed out on, pops its own deque
+bottom, and when the deque is empty steals from the *top* of a uniformly
+random victim's deque (cost :data:`~repro.parallel.cilk.task.T_STEAL`) --
+exactly the protocol the paper describes in Section IV.A ("Dynamic load
+balancing among threads").
+
+The simulation is event-driven on worker-finish times, so steals observe
+deque states at chunk granularity.  Identical seeds give identical
+schedules; varying the seed across repetitions is how Fig. 6's min/max
+running-time envelopes are generated.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+import numpy as np
+
+from ...runtime.trace import Trace
+from .deque import WorkDeque
+from .task import RangeTask, T_SPAWN, T_STEAL, T_TASK, default_grain
+
+#: Initial retry interval for a worker that found every deque empty.
+T_RETRY = 2.0e-7
+#: Retry backoff cap.
+T_RETRY_MAX = 1.0e-4
+
+
+@dataclass
+class ScheduleResult:
+    """Outcome of one work-stealing simulation.
+
+    Attributes
+    ----------
+    makespan:
+        Simulated parallel time T_p (seconds).
+    work:
+        Serial work T_1 (sum of costs plus per-task overhead).
+    steals:
+        Number of successful steals.
+    failed_steals:
+        Steal attempts that found every deque empty.
+    worker_busy:
+        ``(p,)`` per-worker busy seconds (utilisation diagnostics).
+    """
+
+    makespan: float
+    work: float
+    steals: int
+    failed_steals: int
+    worker_busy: np.ndarray
+
+    @property
+    def workers(self) -> int:
+        return len(self.worker_busy)
+
+    @property
+    def speedup(self) -> float:
+        """T_1 / T_p."""
+        return self.work / self.makespan if self.makespan > 0 else 1.0
+
+    @property
+    def utilization(self) -> float:
+        """Mean busy fraction across workers."""
+        if self.makespan <= 0:
+            return 1.0
+        return float(self.worker_busy.mean() / self.makespan)
+
+
+def simulate_work_stealing(costs: np.ndarray, nworkers: int, *,
+                           seed: int = 0, grain: int | None = None,
+                           trace: Trace | None = None) -> ScheduleResult:
+    """Simulate ``nworkers`` work-stealing workers over per-leaf ``costs``.
+
+    Parameters
+    ----------
+    costs:
+        ``(n,)`` seconds of work per leaf task, in leaf order.
+    nworkers:
+        Threads inside the process (``p`` in the paper).
+    seed:
+        Victim-selection RNG seed (the only nondeterminism cilk++ has).
+    grain:
+        Serial chunk size; defaults to the cilk_for heuristic.
+    """
+    costs = np.asarray(costs, dtype=np.float64)
+    if costs.ndim != 1:
+        raise ValueError("costs must be 1-D")
+    if np.any(costs < 0):
+        raise ValueError("costs must be non-negative")
+    n = len(costs)
+    if nworkers < 1:
+        raise ValueError("nworkers must be >= 1")
+    work = float(costs.sum()) + n * T_TASK
+    if n == 0:
+        return ScheduleResult(0.0, 0.0, 0, 0, np.zeros(nworkers))
+    if grain is None:
+        grain = default_grain(n, nworkers)
+    prefix = np.concatenate([[0.0], np.cumsum(costs)])
+
+    rng = np.random.default_rng(seed)
+    deques: list[WorkDeque[RangeTask]] = [WorkDeque() for _ in range(nworkers)]
+    busy = np.zeros(nworkers)
+    remaining = n
+    steals = 0
+    failed = 0
+    retry_interval = [T_RETRY] * nworkers
+
+    # Worker 0 owns the root range at t=0; the rest start stealing.
+    events: list[tuple[float, int, int, RangeTask | None]] = []
+    seq = 0
+
+    def push_event(t: float, w: int, task: RangeTask | None) -> None:
+        nonlocal seq
+        heapq.heappush(events, (t, seq, w, task))
+        seq += 1
+
+    push_event(0.0, 0, RangeTask(0, n))
+    for w in range(1, nworkers):
+        push_event(0.0, w, None)
+
+    makespan = 0.0
+    while events:
+        t, _, w, task = heapq.heappop(events)
+        if task is None:
+            # Worker needs work: own deque first, then a random victim.
+            own = deques[w].pop_bottom()
+            if own is not None:
+                push_event(t, w, own)
+                continue
+            if remaining == 0:
+                continue
+            victims = [v for v in range(nworkers) if v != w and deques[v]]
+            if victims:
+                victim = victims[int(rng.integers(len(victims)))]
+                stolen = deques[victim].steal_top()
+                if stolen is not None:
+                    steals += 1
+                    retry_interval[w] = T_RETRY
+                    if trace is not None:
+                        trace.record(t, "steal", w,
+                                     {"victim": victim, "task": stolen})
+                    busy[w] += T_STEAL
+                    push_event(t + T_STEAL, w, stolen)
+                    continue
+            failed += 1
+            push_event(t + retry_interval[w], w, None)
+            retry_interval[w] = min(retry_interval[w] * 2.0, T_RETRY_MAX)
+            continue
+        # Descend leftward, exposing right halves for thieves.
+        now = t
+        while task.size > grain:
+            left, right = task.split()
+            deques[w].push_bottom(right)
+            busy[w] += T_SPAWN
+            now += T_SPAWN
+            task = left
+        chunk_cost = float(prefix[task.hi] - prefix[task.lo]) \
+            + task.size * T_TASK
+        if trace is not None:
+            trace.record(now, "task_start", w, task)
+        busy[w] += chunk_cost
+        now += chunk_cost
+        remaining -= task.size
+        makespan = max(makespan, now)
+        push_event(now, w, None)
+
+    return ScheduleResult(makespan=makespan, work=work, steals=steals,
+                          failed_steals=failed, worker_busy=busy)

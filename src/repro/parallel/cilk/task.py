@@ -1,0 +1,72 @@
+"""Task representation for the simulated scheduler.
+
+The paper's kernels are ``cilk_for`` loops over octree leaves; their spawn
+structure is the balanced binary range subdivision cilk++ generates.  A
+*task* here is a contiguous range ``[lo, hi)`` of leaf indices; ranges at
+or below the grain execute serially, larger ranges split in half with the
+right half exposed for stealing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Modelled cost of one spawn (deque push + frame setup), seconds.
+T_SPAWN = 8.0e-8
+#: Modelled fixed overhead per executed leaf task, seconds.
+T_TASK = 5.0e-8
+#: Modelled cost of one successful steal (sync + cold cache), seconds.
+T_STEAL = 1.5e-6
+
+
+@dataclass(frozen=True)
+class RangeTask:
+    """A contiguous range of leaf indices ``[lo, hi)``."""
+
+    lo: int
+    hi: int
+
+    @property
+    def size(self) -> int:
+        return self.hi - self.lo
+
+    def split(self) -> tuple["RangeTask", "RangeTask"]:
+        """Halve the range (left, right); only valid for size >= 2."""
+        if self.size < 2:
+            raise ValueError("cannot split a unit range")
+        mid = (self.lo + self.hi) // 2
+        return RangeTask(self.lo, mid), RangeTask(mid, self.hi)
+
+
+def default_grain(ntasks: int, nworkers: int) -> int:
+    """cilk_for's automatic grain heuristic: ~8 chunks per worker,
+    clamped to [1, 512]."""
+    if ntasks < 1 or nworkers < 1:
+        raise ValueError("ntasks and nworkers must be positive")
+    return max(1, min(512, ntasks // (8 * nworkers) or 1))
+
+
+def range_tree_span(costs: np.ndarray, grain: int) -> float:
+    """The critical-path length (span, T_inf) of the balanced range tree.
+
+    Span = spawn overhead down the deepest path + the heaviest single
+    chunk.  Used to check the simulated makespan against the
+    Blumofe-Leiserson bound ``T_p <= T_1/p + O(T_inf)``.
+    """
+    costs = np.asarray(costs, dtype=np.float64)
+    n = len(costs)
+    if n == 0:
+        return 0.0
+    depth = 0
+    size = n
+    while size > grain:
+        size = (size + 1) // 2
+        depth += 1
+    # Heaviest chunk: max over contiguous grain-sized windows; bounded by
+    # grain * max cost which is enough for the test bound.
+    prefix = np.concatenate([[0.0], np.cumsum(costs)])
+    heaviest = max(float(prefix[min(i + grain, n)] - prefix[i])
+                   for i in range(0, n, grain))
+    return depth * T_SPAWN + heaviest + T_TASK

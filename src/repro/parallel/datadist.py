@@ -1,0 +1,190 @@
+"""Data distribution: the paper's stated future work, implemented.
+
+The paper's Section IV.A names two load-balancing designs and evaluates
+only the first:
+
+* distribute only the work (each process holds *all* the data) -- what the
+  paper ships and what :mod:`repro.parallel.hybrid` reproduces;
+* "distribute both the data and work evenly among the processes (each
+  process gets only a part of the data)" -- deferred in the conclusion as
+  "an interesting approach to explore".
+
+This module explores it.  Each rank *owns* a contiguous segment of octree
+leaves (the same cost-balanced segments the work division uses) and holds
+only its own points plus the shared node skeleton.  Before the Born phase,
+ranks exchange exactly the remote leaf payloads their traversals touch --
+the near-field *halo* -- via simulated point-to-point messages.  The far
+field needs no point data at all (per-node aggregates live in the
+skeleton), which is what makes distribution attractive for this algorithm.
+
+What the experiment shows (``python -m repro run ablE``):
+
+* per-rank memory drops from one full replica to ``skeleton + own segment
+  + halo`` -- the 1/P scaling the paper hoped for, plus a halo that grows
+  with surface area, not volume;
+* the price is the halo exchange: point-to-point traffic that the
+  replicated design never pays;
+* energies match the replicated runs to addition-reordering rounding (the
+  decomposition is still exactly additive).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.born import AtomTreeData, BornPartial, QuadTreeData, approx_integrals
+from ..core.driver import PolarizationEnergyCalculator
+from ..octree.mac import born_mac_multiplier
+from ..octree.partition import segment_leaf_bounds
+from ..octree.traversal import classify_against_ball
+
+#: Bytes per quadrature point (position + normal + weight) and per atom
+#: (position + radius + charge) in the exchanged payloads.
+BYTES_PER_QPOINT = 7 * 8
+BYTES_PER_ATOM = 5 * 8
+
+
+@dataclass(frozen=True)
+class HaloPlan:
+    """Which remote data each rank needs for its Born-phase traversals.
+
+    Attributes
+    ----------
+    owner_of_atom_leaf / owner_of_q_leaf:
+        Rank owning each leaf (by the cost-balanced segment bounds).
+    needed_atom_leaves:
+        Per rank, the sorted ids of *atom-tree* leaves its assigned
+        Q-leaf traversals touch in the near field (its halo, including
+        the leaves it owns itself).
+    """
+
+    owner_of_atom_leaf: np.ndarray
+    owner_of_q_leaf: np.ndarray
+    needed_atom_leaves: list[np.ndarray]
+
+
+@dataclass(frozen=True)
+class DataDistribution:
+    """Memory and traffic accounting of one distributed-data layout.
+
+    All byte figures are per rank unless stated otherwise.
+    """
+
+    nranks: int
+    replicated_bytes: int          # what the paper's design stores per rank
+    skeleton_bytes: int            # shared node arrays every rank keeps
+    owned_bytes: np.ndarray        # (P,) own-segment payload
+    halo_bytes: np.ndarray         # (P,) remote payload fetched
+    halo_messages: int             # point-to-point messages exchanged
+    halo_traffic_bytes: int        # total bytes moved in the exchange
+
+    @property
+    def distributed_bytes(self) -> np.ndarray:
+        """(P,) resident bytes per rank under data distribution."""
+        return self.skeleton_bytes + self.owned_bytes + self.halo_bytes
+
+    @property
+    def memory_reduction(self) -> float:
+        """Replicated bytes over the *worst* rank's distributed bytes."""
+        return float(self.replicated_bytes / self.distributed_bytes.max())
+
+
+def _leaf_owner(bounds: list[tuple[int, int]], nleaves: int) -> np.ndarray:
+    owner = np.empty(nleaves, dtype=np.int64)
+    for rank, (lo, hi) in enumerate(bounds):
+        owner[lo:hi] = rank
+    return owner
+
+
+def plan_halos(atoms: AtomTreeData, quad: QuadTreeData, eps: float, *,
+               nranks: int, mac_variant: str = "practical") -> HaloPlan:
+    """Classify every rank's Q leaves and record which atom leaves its
+    near field touches."""
+    a_tree = atoms.tree
+    q_tree = quad.tree
+    mult = born_mac_multiplier(eps, variant=mac_variant)
+    q_bounds = segment_leaf_bounds(q_tree, nranks)
+    a_bounds = segment_leaf_bounds(a_tree, nranks)
+    leaf_index = {int(v): i for i, v in enumerate(a_tree.leaves)}
+    needed: list[np.ndarray] = []
+    for lo, hi in q_bounds:
+        touched: set[int] = set()
+        for leaf in q_tree.leaves[lo:hi]:
+            cls = classify_against_ball(
+                a_tree, q_tree.ball_center[leaf],
+                float(q_tree.ball_radius[leaf]), mult)
+            touched.update(leaf_index[int(v)] for v in cls.near_leaves)
+        needed.append(np.array(sorted(touched), dtype=np.int64))
+    return HaloPlan(
+        owner_of_atom_leaf=_leaf_owner(a_bounds, len(a_tree.leaves)),
+        owner_of_q_leaf=_leaf_owner(q_bounds, len(q_tree.leaves)),
+        needed_atom_leaves=needed,
+    )
+
+
+def analyze_distribution(calc: PolarizationEnergyCalculator, *,
+                         nranks: int) -> DataDistribution:
+    """Account memory and halo traffic for distributing the data of
+    ``calc``'s molecule across ``nranks`` ranks."""
+    if nranks < 1:
+        raise ValueError("nranks must be >= 1")
+    atoms = calc.atom_tree()
+    quad = calc.quad_tree()
+    surface = calc.prepare_surface()
+    plan = plan_halos(atoms, quad, calc.params.eps_born, nranks=nranks,
+                      mac_variant=calc.params.born_mac_variant)
+
+    a_tree = atoms.tree
+    q_tree = quad.tree
+    leaf_sizes = (a_tree.point_end[a_tree.leaves]
+                  - a_tree.point_start[a_tree.leaves])
+    replicated = (calc.molecule.nbytes() + surface.nbytes()
+                  + a_tree.nbytes() + q_tree.nbytes())
+    skeleton = int((a_tree.nbytes() - a_tree.points.nbytes)
+                   + (q_tree.nbytes() - q_tree.points.nbytes))
+
+    q_bounds = segment_leaf_bounds(q_tree, nranks)
+    owned = np.zeros(nranks)
+    halo = np.zeros(nranks)
+    messages = 0
+    traffic = 0
+    for rank in range(nranks):
+        lo, hi = q_bounds[rank]
+        q_points = int(q_tree.point_end[q_tree.leaves[hi - 1]]
+                       - q_tree.point_start[q_tree.leaves[lo]]) if hi > lo else 0
+        own_atom_leaves = np.flatnonzero(plan.owner_of_atom_leaf == rank)
+        owned[rank] = (q_points * BYTES_PER_QPOINT
+                       + int(leaf_sizes[own_atom_leaves].sum())
+                       * BYTES_PER_ATOM)
+        needed = plan.needed_atom_leaves[rank]
+        remote = needed[plan.owner_of_atom_leaf[needed] != rank]
+        halo[rank] = int(leaf_sizes[remote].sum()) * BYTES_PER_ATOM
+        # One message per (requesting rank, owning rank) pair with data.
+        owners = np.unique(plan.owner_of_atom_leaf[remote])
+        messages += len(owners)
+        traffic += int(halo[rank])
+    return DataDistribution(
+        nranks=nranks, replicated_bytes=int(replicated),
+        skeleton_bytes=skeleton, owned_bytes=owned, halo_bytes=halo,
+        halo_messages=messages, halo_traffic_bytes=traffic)
+
+
+def born_partial_from_halo(atoms: AtomTreeData, quad: QuadTreeData,
+                           eps: float, rank: int, nranks: int, *,
+                           mac_variant: str = "practical") -> BornPartial:
+    """One rank's Born partial computed *as if* only its segment + halo
+    were resident.
+
+    The kernels index the same arrays (Python has no address-space
+    boundary to enforce), but the traversal is restricted to exactly the
+    leaves the halo plan grants -- so a mismatch between plan and need
+    would fail loudly in tests rather than silently touching "remote"
+    memory.  Energies match the replicated run to rounding, which is the
+    invariant that makes data distribution a pure memory/traffic trade.
+    """
+    q_bounds = segment_leaf_bounds(quad.tree, nranks)
+    lo, hi = q_bounds[rank]
+    return approx_integrals(atoms, quad, quad.tree.leaves[lo:hi], eps,
+                            mac_variant=mac_variant)

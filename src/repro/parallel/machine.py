@@ -1,0 +1,169 @@
+"""Machine and cluster models.
+
+The paper's testbed (Table I) is Lonestar4 at TACC: 12-core dual-socket
+3.33 GHz Intel Westmere nodes (12 MB L3 per socket, 24 GB RAM) on a 40 Gb/s
+InfiniBand fat tree, MVAPICH2 + cilk-4.5.4.  :data:`LONESTAR4` mirrors it.
+
+These specs drive the *timing* side of the simulation only; all numerics
+run for real.  Calibration constants (per-operation costs) live in
+:mod:`repro.parallel.cost`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """One compute node.
+
+    Attributes
+    ----------
+    cores_per_node / sockets:
+        Core topology (cores are split evenly across sockets).
+    clock_ghz:
+        Core clock.
+    l1_kb / l2_kb:
+        Private cache sizes per core.
+    l3_mb:
+        Shared L3 per socket.
+    ram_gb:
+        Node memory -- the paper's baselines OOM against this.
+    """
+
+    name: str
+    cores_per_node: int
+    sockets: int
+    clock_ghz: float
+    l1_kb: int
+    l2_kb: int
+    l3_mb: int
+    ram_gb: float
+
+    @property
+    def cores_per_socket(self) -> int:
+        return self.cores_per_node // self.sockets
+
+    @property
+    def l3_bytes_per_socket(self) -> int:
+        return self.l3_mb * 1024 * 1024
+
+    @property
+    def ram_bytes(self) -> int:
+        return int(self.ram_gb * 1024 ** 3)
+
+
+@dataclass(frozen=True)
+class NetworkSpec:
+    """Point-to-point communication parameters (the ``t_s``/``t_w`` model
+    of Grama et al. that the paper's Section IV.C analysis uses).
+
+    Attributes
+    ----------
+    ts_inter / tw_inter:
+        Startup latency (s) and per-byte time (s) between nodes.
+    ts_intra / tw_intra:
+        Same for two ranks on one node (shared-memory transport).
+    """
+
+    ts_inter: float
+    tw_inter: float
+    ts_intra: float
+    tw_intra: float
+    #: Per-collective software/synchronisation overhead, charged once per
+    #: collective times log2(nranks).  This models what end-to-end MPI
+    #: phase timings actually contain beyond the wire: stack dispatch,
+    #: arrival skew of unpinned processes, progress-engine polling.  It is
+    #: the calibrated term behind the paper's "for small molecules the
+    #: communication cost dominated computation cost" (Section V.C).
+    dispatch_overhead: float = 3.0e-4
+
+    def p2p_cost(self, nbytes: int, *, same_node: bool) -> float:
+        """Cost of one point-to-point message."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        if same_node:
+            return self.ts_intra + self.tw_intra * nbytes
+        return self.ts_inter + self.tw_inter * nbytes
+
+
+@dataclass(frozen=True)
+class RankLayout:
+    """How MPI ranks and threads are laid out on a cluster.
+
+    The paper's two configurations on an N-node run:
+    ``OCT_MPI``        -> ``RankLayout(nodes=N, ranks_per_node=12, threads_per_rank=1)``
+    ``OCT_MPI+CILK``   -> ``RankLayout(nodes=N, ranks_per_node=2,  threads_per_rank=6)``
+    (one hybrid rank per socket, which is what ``tacc_affinity`` pinning
+    achieves).
+    """
+
+    nodes: int
+    ranks_per_node: int
+    threads_per_rank: int = 1
+
+    def __post_init__(self) -> None:
+        if self.nodes < 1 or self.ranks_per_node < 1 or self.threads_per_rank < 1:
+            raise ValueError("layout dimensions must be positive")
+
+    @property
+    def nranks(self) -> int:
+        return self.nodes * self.ranks_per_node
+
+    @property
+    def total_cores(self) -> int:
+        return self.nranks * self.threads_per_rank
+
+    def node_of(self, rank: int) -> int:
+        """Which node hosts ``rank`` (block distribution, as mpirun does)."""
+        if not 0 <= rank < self.nranks:
+            raise ValueError(f"rank {rank} out of range")
+        return rank // self.ranks_per_node
+
+    def same_node(self, rank_a: int, rank_b: int) -> bool:
+        return self.node_of(rank_a) == self.node_of(rank_b)
+
+
+#: The paper's Table I machine.
+LONESTAR4 = MachineSpec(
+    name="Lonestar4 (Westmere)",
+    cores_per_node=12,
+    sockets=2,
+    clock_ghz=3.33,
+    l1_kb=64,
+    l2_kb=256,
+    l3_mb=12,
+    ram_gb=24.0,
+)
+
+#: QDR InfiniBand fat tree (40 Gb/s) with MVAPICH2-era latencies, plus
+#: shared-memory transport inside a node.
+LONESTAR4_NETWORK = NetworkSpec(
+    # Effective per-step latency of collective stages across nodes: wire
+    # latency plus the per-rank software cost a ring/tree stage pays.  This
+    # is the term that makes many-rank (P-1)-stage collectives visibly more
+    # expensive for OCT_MPI than for the hybrid layout at equal cores.
+    ts_inter=1.0e-5,
+    tw_inter=3.0e-10,   # ~3.3 GB/s effective per-rank stream
+    ts_intra=6.0e-7,
+    tw_intra=1.0e-10,   # ~10 GB/s through shared memory
+)
+
+
+def layout_for_cores(cores: int, *, hybrid: bool,
+                     machine: MachineSpec = LONESTAR4) -> RankLayout:
+    """The paper's standard layouts for a given total core count.
+
+    ``hybrid=False`` gives OCT_MPI (one rank per core); ``hybrid=True``
+    gives OCT_MPI+CILK (one rank per socket, one thread per core).
+    ``cores`` must be a multiple of the node size.
+    """
+    cpn = machine.cores_per_node
+    if cores % cpn != 0:
+        raise ValueError(f"cores must be a multiple of {cpn}")
+    nodes = cores // cpn
+    if hybrid:
+        return RankLayout(nodes=nodes, ranks_per_node=machine.sockets,
+                          threads_per_rank=cpn // machine.sockets)
+    return RankLayout(nodes=nodes, ranks_per_node=cpn, threads_per_rank=1)

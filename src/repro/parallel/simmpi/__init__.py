@@ -1,0 +1,22 @@
+"""Simulated MPI: deterministic discrete-event SPMD engine."""
+
+from .collectives import collective_cost, collective_results, reduce_values
+from .comm import run_spmd
+from .engine import CommStats, RankContext, RunResult, SimMPI
+from .requests import Collective, DeadlockError, Recv, Send, payload_nbytes
+
+__all__ = [
+    "Collective",
+    "CommStats",
+    "DeadlockError",
+    "RankContext",
+    "Recv",
+    "RunResult",
+    "Send",
+    "SimMPI",
+    "collective_cost",
+    "collective_results",
+    "payload_nbytes",
+    "reduce_values",
+    "run_spmd",
+]

@@ -1,0 +1,37 @@
+"""Convenience facade over the SPMD engine."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator
+
+from ...runtime.trace import Trace
+from ..machine import LONESTAR4_NETWORK, NetworkSpec, RankLayout
+from .engine import RankContext, RunResult, SimMPI
+
+
+def run_spmd(program: Callable[..., Generator], *, nranks: int | None = None,
+             layout: RankLayout | None = None,
+             network: NetworkSpec = LONESTAR4_NETWORK,
+             trace: Trace | None = None,
+             args: tuple[Any, ...] = ()) -> RunResult:
+    """Run ``program`` across ranks and return the :class:`RunResult`.
+
+    Provide either ``nranks`` (all ranks on one node) or a full
+    ``layout``.  This is the one-liner used by tests and examples::
+
+        def hello(ctx):
+            total = yield ctx.allreduce(ctx.rank)
+            return total
+
+        result = run_spmd(hello, nranks=4)
+        assert result.returns == [6, 6, 6, 6]
+    """
+    if (nranks is None) == (layout is None):
+        raise ValueError("provide exactly one of nranks or layout")
+    if layout is None:
+        layout = RankLayout(nodes=1, ranks_per_node=int(nranks))
+    return SimMPI(layout=layout, network=network, trace=trace).run(
+        program, *args)
+
+
+__all__ = ["RankContext", "RunResult", "SimMPI", "run_spmd"]

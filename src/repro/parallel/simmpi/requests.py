@@ -1,0 +1,93 @@
+"""Request descriptors yielded by simulated rank programs.
+
+A rank program is a Python generator: it performs real computation inline,
+advances its simulated clock for modelled work, and *yields* one of these
+request objects whenever it needs the communication substrate.  The engine
+resumes the generator with the communication result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+#: Collective kinds understood by the engine.
+COLLECTIVE_KINDS = ("allreduce", "allgather", "bcast", "gather", "reduce",
+                    "barrier")
+
+
+def payload_nbytes(obj: Any) -> int:
+    """Estimate the wire size of a payload.
+
+    NumPy arrays are exact; scalars count as one word; containers sum
+    their elements; everything else is charged a conservative 64 bytes.
+    """
+    if obj is None:
+        return 0
+    if isinstance(obj, np.ndarray):
+        return int(obj.nbytes)
+    if isinstance(obj, (int, float, np.integer, np.floating, bool)):
+        return 8
+    if isinstance(obj, (list, tuple)):
+        return sum(payload_nbytes(x) for x in obj)
+    if isinstance(obj, dict):
+        return sum(payload_nbytes(k) + payload_nbytes(v) for k, v in obj.items())
+    if isinstance(obj, (str, bytes)):
+        return len(obj)
+    return 64
+
+
+@dataclass
+class Send:
+    """Blocking eager send to ``dest``."""
+
+    dest: int
+    data: Any
+    tag: int = 0
+    nbytes: int = field(default=-1)
+
+    def __post_init__(self) -> None:
+        if self.nbytes < 0:
+            self.nbytes = payload_nbytes(self.data)
+
+
+@dataclass
+class Recv:
+    """Blocking receive from ``source``."""
+
+    source: int
+    tag: int = 0
+
+
+@dataclass
+class Collective:
+    """A collective operation; all ranks must yield a matching one.
+
+    ``op`` applies to reductions (``"sum"``, ``"min"``, ``"max"``);
+    ``root`` applies to rooted collectives (bcast/gather/reduce).
+    """
+
+    kind: str
+    data: Any = None
+    op: str = "sum"
+    root: int = 0
+    nbytes: int = field(default=-1)
+
+    def __post_init__(self) -> None:
+        if self.kind not in COLLECTIVE_KINDS:
+            raise ValueError(f"unknown collective kind {self.kind!r}")
+        if self.op not in ("sum", "min", "max"):
+            raise ValueError(f"unknown reduction op {self.op!r}")
+        if self.nbytes < 0:
+            self.nbytes = payload_nbytes(self.data)
+
+    def signature(self) -> tuple[str, str, int]:
+        """Ranks must agree on this to match a collective call."""
+        return (self.kind, self.op, self.root)
+
+
+class DeadlockError(RuntimeError):
+    """No rank can make progress: mismatched collectives or unmatched
+    point-to-point operations."""

@@ -1,0 +1,7 @@
+"""Simulated-runtime support: clocks, work counters, traces."""
+
+from .clock import SimClock
+from .instrument import WorkCounters
+from .trace import Trace, TraceEvent
+
+__all__ = ["SimClock", "Trace", "TraceEvent", "WorkCounters"]

@@ -1,0 +1,27 @@
+"""Simulated clocks for the discrete-event substrates."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class SimClock:
+    """A monotonically advancing simulated clock (seconds)."""
+
+    now: float = 0.0
+
+    def advance(self, dt: float) -> float:
+        """Advance by ``dt`` seconds (must be non-negative); returns the
+        new time."""
+        if dt < 0:
+            raise ValueError(f"cannot advance clock by negative dt={dt}")
+        self.now += dt
+        return self.now
+
+    def advance_to(self, t: float) -> float:
+        """Advance to absolute time ``t`` if it is in the future; a no-op
+        otherwise (clocks never run backwards)."""
+        if t > self.now:
+            self.now = t
+        return self.now

@@ -1,0 +1,61 @@
+"""Lightweight event tracing for the simulated runtimes.
+
+Traces record what the simulated schedulers did -- task starts, steals,
+collective phases -- so experiments can report steal counts and phase
+timelines, and tests can assert scheduler behaviour without poking at
+internals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One traced event.
+
+    Attributes
+    ----------
+    time:
+        Simulated time of the event (seconds).
+    kind:
+        Event category, e.g. ``"steal"``, ``"task_start"``, ``"collective"``.
+    who:
+        Acting entity (worker id, rank id).
+    detail:
+        Free-form payload.
+    """
+
+    time: float
+    kind: str
+    who: int
+    detail: Any = None
+
+
+@dataclass
+class Trace:
+    """An append-only event log."""
+
+    events: list[TraceEvent] = field(default_factory=list)
+    enabled: bool = True
+
+    def record(self, time: float, kind: str, who: int, detail: Any = None) -> None:
+        """Append one event (no-op when disabled)."""
+        if self.enabled:
+            self.events.append(TraceEvent(time, kind, who, detail))
+
+    def by_kind(self, kind: str) -> list[TraceEvent]:
+        """All events of the given kind, in order."""
+        return [e for e in self.events if e.kind == kind]
+
+    def count(self, kind: str) -> int:
+        """Number of events of the given kind."""
+        return sum(1 for e in self.events if e.kind == kind)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)

@@ -1,0 +1,25 @@
+"""Molecular-surface generation and quadrature."""
+
+from .area import (area_per_atom, measured_exposed_area, sphere_area,
+                   two_sphere_exposed_area)
+from .quadrature import TriangleRule, available_degrees, mesh_quadrature, triangle_rule
+from .sas import SurfaceQuadrature, build_surface, sphere_surface
+from .sphere import TriangleMesh, fibonacci_sphere, icosahedron, icosphere
+
+__all__ = [
+    "SurfaceQuadrature",
+    "TriangleMesh",
+    "TriangleRule",
+    "area_per_atom",
+    "available_degrees",
+    "build_surface",
+    "fibonacci_sphere",
+    "icosahedron",
+    "icosphere",
+    "measured_exposed_area",
+    "mesh_quadrature",
+    "sphere_area",
+    "sphere_surface",
+    "triangle_rule",
+    "two_sphere_exposed_area",
+]

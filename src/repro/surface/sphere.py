@@ -1,0 +1,130 @@
+"""Unit-sphere tessellations: icosphere triangulation and Fibonacci points.
+
+Two samplers are provided because the package supports two quadrature
+pathways (paper Section II):
+
+* the *triangulated* pathway -- an icosphere mesh whose triangles carry
+  Dunavant Gaussian quadrature points, mirroring the paper's "triangulation
+  of Gaussian quadrature function of the molecular surface";
+* the *point-cloud* pathway -- Fibonacci-lattice points with equal-area
+  weights, cheaper and sufficient for large sweeps.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class TriangleMesh:
+    """A triangulated closed surface.
+
+    Attributes
+    ----------
+    vertices:
+        ``(V, 3)`` vertex coordinates.
+    triangles:
+        ``(T, 3)`` integer vertex indices, outward-oriented (counter-
+        clockwise seen from outside).
+    """
+
+    vertices: np.ndarray
+    triangles: np.ndarray
+
+    @property
+    def ntriangles(self) -> int:
+        return self.triangles.shape[0]
+
+    def triangle_areas(self) -> np.ndarray:
+        """Area of every triangle, shape ``(T,)``."""
+        a = self.vertices[self.triangles[:, 0]]
+        b = self.vertices[self.triangles[:, 1]]
+        c = self.vertices[self.triangles[:, 2]]
+        return 0.5 * np.linalg.norm(np.cross(b - a, c - a), axis=1)
+
+    def triangle_normals(self) -> np.ndarray:
+        """Outward unit normal of every triangle, shape ``(T, 3)``."""
+        a = self.vertices[self.triangles[:, 0]]
+        b = self.vertices[self.triangles[:, 1]]
+        c = self.vertices[self.triangles[:, 2]]
+        n = np.cross(b - a, c - a)
+        norms = np.linalg.norm(n, axis=1, keepdims=True)
+        norms[norms == 0] = 1.0
+        return n / norms
+
+    def total_area(self) -> float:
+        return float(self.triangle_areas().sum())
+
+
+def icosahedron() -> TriangleMesh:
+    """The regular icosahedron inscribed in the unit sphere."""
+    phi = (1.0 + math.sqrt(5.0)) / 2.0
+    verts = np.array([
+        (-1, phi, 0), (1, phi, 0), (-1, -phi, 0), (1, -phi, 0),
+        (0, -1, phi), (0, 1, phi), (0, -1, -phi), (0, 1, -phi),
+        (phi, 0, -1), (phi, 0, 1), (-phi, 0, -1), (-phi, 0, 1),
+    ], dtype=np.float64)
+    verts /= np.linalg.norm(verts, axis=1, keepdims=True)
+    tris = np.array([
+        (0, 11, 5), (0, 5, 1), (0, 1, 7), (0, 7, 10), (0, 10, 11),
+        (1, 5, 9), (5, 11, 4), (11, 10, 2), (10, 7, 6), (7, 1, 8),
+        (3, 9, 4), (3, 4, 2), (3, 2, 6), (3, 6, 8), (3, 8, 9),
+        (4, 9, 5), (2, 4, 11), (6, 2, 10), (8, 6, 7), (9, 8, 1),
+    ], dtype=np.int64)
+    return TriangleMesh(verts, tris)
+
+
+def icosphere(subdivisions: int) -> TriangleMesh:
+    """Icosahedron subdivided ``subdivisions`` times, vertices re-projected
+    to the unit sphere.  Triangle count is ``20 * 4**subdivisions``."""
+    if subdivisions < 0:
+        raise ValueError("subdivisions must be >= 0")
+    mesh = icosahedron()
+    for _ in range(subdivisions):
+        verts = list(map(tuple, mesh.vertices))
+        index: dict[tuple[float, float, float], int] = {v: i for i, v in enumerate(verts)}
+        cache: dict[tuple[int, int], int] = {}
+
+        def midpoint(i: int, j: int) -> int:
+            key = (min(i, j), max(i, j))
+            if key in cache:
+                return cache[key]
+            m = (np.asarray(verts[i]) + np.asarray(verts[j])) / 2.0
+            m = tuple(m / np.linalg.norm(m))
+            if m in index:
+                k = index[m]
+            else:
+                k = len(verts)
+                verts.append(m)
+                index[m] = k
+            cache[key] = k
+            return k
+
+        new_tris = []
+        for t0, t1, t2 in mesh.triangles:
+            a = midpoint(int(t0), int(t1))
+            b = midpoint(int(t1), int(t2))
+            c = midpoint(int(t2), int(t0))
+            new_tris.extend([(t0, a, c), (t1, b, a), (t2, c, b), (a, b, c)])
+        mesh = TriangleMesh(np.asarray(verts, dtype=np.float64),
+                            np.asarray(new_tris, dtype=np.int64))
+    return mesh
+
+
+def fibonacci_sphere(n: int) -> np.ndarray:
+    """``n`` near-uniform points on the unit sphere (Fibonacci lattice).
+
+    Each point represents an equal share ``4*pi/n`` of solid angle, which is
+    what makes the equal-weight quadrature of the point-cloud pathway valid.
+    """
+    if n < 1:
+        raise ValueError("n must be positive")
+    i = np.arange(n, dtype=np.float64)
+    golden = math.pi * (3.0 - math.sqrt(5.0))
+    z = 1.0 - 2.0 * (i + 0.5) / n
+    rho = np.sqrt(np.clip(1.0 - z * z, 0.0, 1.0))
+    theta = golden * i
+    return np.column_stack([rho * np.cos(theta), rho * np.sin(theta), z])

@@ -1,0 +1,59 @@
+"""Shared fixtures: small deterministic molecules and prepared calculators.
+
+Session-scoped so the (relatively) expensive surface/tree builds happen
+once per test run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.driver import PolarizationEnergyCalculator
+from repro.molecule.generators import protein_blob
+from repro.surface.sas import build_surface
+
+
+@pytest.fixture(scope="session")
+def small_molecule():
+    """A 150-atom protein blob -- fast enough for exact cross-checks."""
+    return protein_blob(150, seed=11)
+
+
+@pytest.fixture(scope="session")
+def medium_molecule():
+    """A 600-atom protein blob for partition/parallel tests."""
+    return protein_blob(600, seed=12)
+
+
+@pytest.fixture(scope="session")
+def large_calc():
+    """A 2500-atom blob where compute dominates communication -- used by
+    the timing-model scaling tests."""
+    calc = PolarizationEnergyCalculator(protein_blob(2500, seed=13))
+    calc.profile()
+    return calc
+
+
+@pytest.fixture(scope="session")
+def small_surface(small_molecule):
+    return build_surface(small_molecule, points_per_atom=16)
+
+
+@pytest.fixture(scope="session")
+def small_calc(small_molecule):
+    calc = PolarizationEnergyCalculator(small_molecule)
+    calc.profile()
+    return calc
+
+
+@pytest.fixture(scope="session")
+def medium_calc(medium_molecule):
+    calc = PolarizationEnergyCalculator(medium_molecule)
+    calc.profile()
+    return calc
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(1234)

@@ -1,0 +1,128 @@
+"""Coverage of remaining public APIs: octree accessors, area helpers,
+elements, surface iterators and experiment caches."""
+
+import numpy as np
+import pytest
+
+from repro.molecule.elements import ELEMENTS, PROTEIN_COMPOSITION, vdw_radius
+from repro.molecule.generators import protein_blob
+from repro.molecule.pdb import iter_pdb_lines
+from repro.octree.build import build_octree
+from repro.surface.area import area_per_atom, measured_exposed_area
+from repro.surface.sas import build_surface
+
+
+@pytest.fixture(scope="module")
+def tree():
+    rng = np.random.default_rng(9)
+    return build_octree(rng.uniform(0, 10, (300, 3)), leaf_cap=8)
+
+
+class TestOctreeAccessors:
+    def test_ancestors_chain_to_root(self, tree):
+        leaf = int(tree.leaves[-1])
+        chain = tree.ancestors(leaf)
+        assert chain[-1] == 0                      # root last
+        assert tree.parent[leaf] == chain[0]
+        for a, b in zip(chain, chain[1:]):
+            assert tree.parent[a] == b
+
+    def test_root_has_no_ancestors(self, tree):
+        assert tree.ancestors(0) == []
+
+    def test_leaf_of_point_consistent(self, tree):
+        owner = tree.leaf_of_point()
+        for v in tree.leaves[:5]:
+            for p in tree.node_points(int(v)):
+                assert owner[p] == v
+
+    def test_nodes_by_level_partition(self, tree):
+        levels = tree.nodes_by_level()
+        total = sum(len(l) for l in levels)
+        assert total == tree.nnodes
+        assert levels[0].tolist() == [0]
+
+    def test_depth_positive(self, tree):
+        assert tree.depth >= 1
+
+    def test_children_of_leaf_empty(self, tree):
+        assert len(tree.children(int(tree.leaves[0]))) == 0
+
+    def test_sorted_points_cached(self, tree):
+        assert tree.sorted_points is tree.sorted_points
+
+    def test_node_point_count_vectorised(self, tree):
+        counts = tree.node_point_count(tree.leaves)
+        assert counts.sum() == tree.npoints
+
+
+class TestAreaHelpers:
+    def test_area_per_atom_sums_to_total(self):
+        mol = protein_blob(120, seed=13)
+        surf = build_surface(mol, points_per_atom=16)
+        per_atom = area_per_atom(surf, len(mol))
+        assert per_atom.sum() == pytest.approx(surf.total_area)
+        assert np.all(per_atom >= 0)
+
+    def test_buried_atoms_have_zero_area(self):
+        mol = protein_blob(800, seed=14)
+        surf = build_surface(mol, points_per_atom=16)
+        per_atom = area_per_atom(surf, len(mol))
+        assert np.sum(per_atom == 0) > 0      # interior atoms fully buried
+
+    def test_measured_exposed_area_positive(self):
+        mol = protein_blob(60, seed=15)
+        assert measured_exposed_area(mol, points_per_atom=32) > 0
+
+    def test_two_sphere_engulfed_case(self):
+        from repro.surface.area import sphere_area, two_sphere_exposed_area
+        assert two_sphere_exposed_area(3.0, 1.0, 0.5) == pytest.approx(
+            sphere_area(3.0))
+
+    def test_two_sphere_invalid_distance(self):
+        from repro.surface.area import two_sphere_exposed_area
+        with pytest.raises(ValueError):
+            two_sphere_exposed_area(1.0, 1.0, 0.0)
+
+
+class TestElements:
+    def test_composition_sums_to_one(self):
+        assert sum(PROTEIN_COMPOSITION.values()) == pytest.approx(1.0, abs=0.02)
+
+    def test_bondi_radii(self):
+        assert ELEMENTS["C"].vdw_radius == pytest.approx(1.70)
+        assert ELEMENTS["N"].vdw_radius == pytest.approx(1.55)
+
+    def test_unknown_element_falls_back_to_carbon(self):
+        assert vdw_radius("Xx") == pytest.approx(1.70)
+
+    def test_case_insensitive(self):
+        assert vdw_radius("o") == vdw_radius("O")
+
+
+class TestPDBIterator:
+    def test_iter_lines_match_atom_count(self):
+        mol = protein_blob(25, seed=16)
+        lines = list(iter_pdb_lines(mol))
+        assert len(lines) == 25
+        assert all(line.startswith("ATOM") for line in lines)
+
+
+class TestExperimentCaches:
+    def test_calculator_cached_by_molecule_and_params(self):
+        from repro.core.params import ApproximationParams
+        from repro.experiments.common import calculator_for, clear_caches
+        mol = protein_blob(50, seed=17)
+        a = calculator_for(mol)
+        b = calculator_for(mol)
+        assert a is b
+        c = calculator_for(mol, ApproximationParams(eps_epol=0.5))
+        assert c is not a
+        clear_caches()
+        assert calculator_for(mol) is not a
+
+    def test_naive_cached(self):
+        from repro.experiments.common import clear_caches, naive_for
+        mol = protein_blob(50, seed=18)
+        clear_caches()
+        assert naive_for(mol) is naive_for(mol)

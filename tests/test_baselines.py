@@ -1,0 +1,166 @@
+"""Tests for the comparator packages and the nblist substrate."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (Amber, BaselineOOMError, GBr6, Gromacs, NAMD,
+                             Tinker, build_nblist, expected_pairs_per_atom,
+                             max_feasible_cutoff, nblist_bytes_model,
+                             pairwise_energy, volume_r6_born_radii)
+from repro.core.naive import naive_reference
+from repro.molecule.generators import protein_blob
+from repro.surface.sas import build_surface
+
+
+@pytest.fixture(scope="module")
+def molecule():
+    return protein_blob(700, seed=31)
+
+
+@pytest.fixture(scope="module")
+def naive_energy(molecule):
+    surf = build_surface(molecule, points_per_atom=12)
+    return naive_reference(molecule, surf).energy
+
+
+class TestNblist:
+    def test_matches_brute_force(self, molecule):
+        cutoff = 5.0
+        nb = build_nblist(molecule, cutoff)
+        pos = molecule.positions
+        d = np.linalg.norm(pos[:, None, :] - pos[None, :, :], axis=2)
+        want = {(i, j) for i in range(len(molecule))
+                for j in range(i + 1, len(molecule)) if d[i, j] < cutoff}
+        got = {(i, int(j)) for i in range(len(molecule))
+               for j in nb.neighbors_of(i)}
+        assert got == want
+
+    def test_pair_count_grows_cubically(self, molecule):
+        n1 = build_nblist(molecule, 4.0).npairs
+        n2 = build_nblist(molecule, 8.0).npairs
+        # Cubic growth, attenuated by molecule-boundary effects.
+        assert 3.0 < n2 / n1 < 9.0
+
+    def test_bytes_model_cubic(self):
+        b1 = nblist_bytes_model(10000, 8.0)
+        b2 = nblist_bytes_model(10000, 16.0)
+        assert b2 / b1 == pytest.approx(8.0, rel=0.35)
+
+    def test_expected_pairs_formula(self):
+        assert expected_pairs_per_atom(10.0) == pytest.approx(
+            4.0 / 3.0 * np.pi * 1000 * 0.095, rel=1e-9)
+
+    def test_max_feasible_cutoff_monotone(self):
+        small = max_feasible_cutoff(10 ** 6, 1e9)
+        large = max_feasible_cutoff(10 ** 6, 1e11)
+        assert large > small
+
+    def test_invalid_cutoff(self, molecule):
+        with pytest.raises(ValueError):
+            build_nblist(molecule, 0.0)
+
+
+class TestPackageEnergies:
+    """Fig. 9's signatures: HCT/OBC/GBr6 near naive, Tinker ~70%."""
+
+    def test_amber_gromacs_share_hct(self, molecule):
+        a = Amber().run(molecule)
+        g = Gromacs().run(molecule)
+        assert a.energy == pytest.approx(g.energy, rel=1e-12)
+
+    def test_hct_close_to_naive(self, molecule, naive_energy):
+        r = Amber().run(molecule)
+        assert 0.8 <= r.energy / naive_energy <= 1.3
+
+    def test_obc_close_to_naive(self, molecule, naive_energy):
+        r = NAMD().run(molecule)
+        assert 0.8 <= r.energy / naive_energy <= 1.3
+
+    def test_tinker_around_70_percent(self, molecule, naive_energy):
+        r = Tinker().run(molecule)
+        assert 0.5 <= r.energy / naive_energy <= 0.9
+
+    def test_gbr6_close_to_naive(self, molecule, naive_energy):
+        r = GBr6().run(molecule)
+        assert 0.75 <= r.energy / naive_energy <= 1.35
+
+    def test_all_negative(self, molecule):
+        for cls in (Amber, Gromacs, NAMD, Tinker, GBr6):
+            assert cls().run(molecule).energy < 0
+
+    def test_pairwise_energy_matches_naive_formula(self, molecule):
+        from repro.core.naive import naive_epol
+        R = np.full(len(molecule), 2.0)
+        assert pairwise_energy(molecule, R) == pytest.approx(
+            naive_epol(molecule, R), rel=1e-12)
+
+    def test_volume_r6_radii_bounded(self, molecule):
+        R = volume_r6_born_radii(molecule)
+        assert np.all(R >= molecule.radii - 1e-9)
+        assert np.isfinite(R).all()
+
+
+class TestPerfAndMemory:
+    def test_octree_speedup_anchor(self, molecule):
+        # Ordering at ZDock scale: Gromacs < Tinker < Amber < NAMD-ish.
+        t = {cls.__name__: cls().run(molecule).sim_seconds
+             for cls in (Amber, Gromacs, NAMD, Tinker)}
+        assert t["Gromacs"] < t["Amber"]
+        assert t["Tinker"] < t["GBr6"] if "GBr6" in t else True
+
+    def test_tinker_oom_threshold(self):
+        assert 11_500 <= Tinker().max_atoms() <= 13_500
+
+    def test_gbr6_oom_threshold(self):
+        assert 12_500 <= GBr6().max_atoms() <= 14_500
+
+    def test_oom_raises(self):
+        big = protein_blob(100, seed=1)  # small, but force via time_only
+        with pytest.raises(BaselineOOMError):
+            Tinker().time_only(20_000)
+        with pytest.raises(BaselineOOMError):
+            GBr6().time_only(20_000)
+
+    def test_amber_max_cores(self):
+        with pytest.raises(ValueError):
+            Amber().time_only(1000, cores=512)
+
+    def test_more_cores_faster(self):
+        amber = Amber()
+        assert amber.time_only(10_000, cores=144) < \
+            amber.time_only(10_000, cores=12)
+
+    def test_gbr6_serial(self):
+        assert GBr6().default_cores() == 1
+
+    def test_tinker_shared_only(self):
+        assert Tinker().perf.max_cores == 12
+
+    def test_cmv_cutoff_limits(self):
+        # Section V.F: Gromacs/NAMD on the 509,640-atom shell only run
+        # with unreasonably small cutoffs.
+        assert Gromacs().max_feasible_cutoff(509_640) < 16.0
+        assert 40.0 < NAMD().max_feasible_cutoff(509_640) < 70.0
+
+    def test_amber_all_pairs(self):
+        # Amber's GB default is an unbounded cutoff: quadratic work, the
+        # mechanism behind its ~39-minute full-CMV time in the paper.
+        assert Amber().interaction_pairs(1000) == pytest.approx(1_000_000.0)
+
+    def test_amber_full_cmv_anchor(self):
+        # Calibration anchor: tens of minutes at 509,640 atoms on 12 cores
+        # (paper Fig. 11: 39 min).
+        minutes = Amber().time_only(509_640) / 60.0
+        assert 25.0 <= minutes <= 60.0
+
+    def test_tinker_peaks_at_small_sizes(self):
+        # Paper: Tinker's best speedup over Amber is ~2.1, on small inputs.
+        ratio_small = Amber().time_only(2000) / Tinker().time_only(2000)
+        ratio_large = Amber().time_only(12000) / Tinker().time_only(12000)
+        assert 1.4 <= ratio_small <= 2.8
+        assert ratio_large < ratio_small
+
+    def test_time_only_matches_run(self, molecule):
+        pkg = Gromacs()
+        run_t = pkg.run(molecule).sim_seconds
+        assert pkg.time_only(len(molecule)) == pytest.approx(run_t)

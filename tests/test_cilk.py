@@ -1,0 +1,133 @@
+"""Tests for the work-stealing deque, scheduler simulation and metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.parallel.cilk import (RangeTask, WorkDeque, analyze, default_grain,
+                                 simulate_work_stealing, within_steal_bound)
+
+
+class TestDeque:
+    def test_lifo_for_owner(self):
+        d = WorkDeque()
+        d.push_bottom(1)
+        d.push_bottom(2)
+        assert d.pop_bottom() == 2
+        assert d.pop_bottom() == 1
+        assert d.pop_bottom() is None
+
+    def test_fifo_for_thief(self):
+        d = WorkDeque()
+        d.push_bottom("old")
+        d.push_bottom("new")
+        assert d.steal_top() == "old"
+        assert d.pop_bottom() == "new"
+
+    def test_len_and_bool(self):
+        d = WorkDeque()
+        assert not d and len(d) == 0
+        d.push_bottom(1)
+        assert d and len(d) == 1
+
+
+class TestRangeTask:
+    def test_split(self):
+        left, right = RangeTask(0, 10).split()
+        assert (left.lo, left.hi) == (0, 5)
+        assert (right.lo, right.hi) == (5, 10)
+
+    def test_unit_range_unsplittable(self):
+        with pytest.raises(ValueError):
+            RangeTask(3, 4).split()
+
+    def test_default_grain_bounds(self):
+        assert default_grain(10, 4) == 1
+        assert 1 <= default_grain(100_000, 4) <= 512
+
+
+class TestScheduler:
+    def test_single_worker_serial(self, rng):
+        costs = rng.uniform(1e-6, 1e-5, 100)
+        r = simulate_work_stealing(costs, 1)
+        # One worker executes everything serially; makespan exceeds the
+        # ideal work only by the per-split spawn overhead.
+        assert r.makespan == pytest.approx(r.work, rel=0.01)
+        assert r.makespan >= r.work
+        assert r.steals == 0
+
+    def test_speedup_reasonable(self, rng):
+        costs = rng.uniform(1e-6, 5e-5, 4000)
+        r = simulate_work_stealing(costs, 8, seed=3)
+        assert 6.0 < r.speedup <= 8.0
+
+    def test_all_work_done(self, rng):
+        costs = rng.uniform(1e-6, 1e-5, 500)
+        r = simulate_work_stealing(costs, 4, seed=1)
+        # Busy time across workers >= total work (overheads included).
+        assert r.worker_busy.sum() >= costs.sum()
+
+    def test_deterministic_per_seed(self, rng):
+        costs = rng.uniform(1e-6, 1e-5, 1000)
+        a = simulate_work_stealing(costs, 6, seed=42)
+        b = simulate_work_stealing(costs, 6, seed=42)
+        assert a.makespan == b.makespan
+        assert a.steals == b.steals
+
+    def test_seed_changes_schedule(self, rng):
+        costs = rng.uniform(1e-7, 1e-4, 2000)
+        makespans = {simulate_work_stealing(costs, 8, seed=s).makespan
+                     for s in range(6)}
+        assert len(makespans) > 1
+
+    def test_empty_tasks(self):
+        r = simulate_work_stealing(np.empty(0), 4)
+        assert r.makespan == 0.0
+
+    def test_skewed_costs_balanced_by_stealing(self):
+        # One heavy prefix: thieves must pick up the tail.
+        costs = np.concatenate([np.full(32, 1e-3), np.full(968, 1e-6)])
+        r = simulate_work_stealing(costs, 8, seed=0, grain=1)
+        assert r.steals > 0
+        assert r.makespan < 0.8 * r.work
+
+    @given(st.integers(min_value=1, max_value=12),
+           st.integers(min_value=1, max_value=400),
+           st.integers(min_value=0, max_value=2 ** 31 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_property_blumofe_leiserson_bound(self, p, n, seed):
+        rng = np.random.default_rng(seed)
+        costs = rng.uniform(1e-7, 1e-4, n)
+        r = simulate_work_stealing(costs, p, seed=seed)
+        ws = analyze(costs, p)
+        assert within_steal_bound(r, ws, slack=6.0)
+
+    def test_makespan_at_least_critical_chunk(self, rng):
+        costs = rng.uniform(1e-6, 1e-5, 200)
+        r = simulate_work_stealing(costs, 4, seed=2, grain=4)
+        assert r.makespan >= costs.max()
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            simulate_work_stealing(np.array([-1.0]), 2)
+        with pytest.raises(ValueError):
+            simulate_work_stealing(np.array([1.0]), 0)
+
+    def test_utilization_bounds(self, rng):
+        costs = rng.uniform(1e-6, 1e-5, 1000)
+        r = simulate_work_stealing(costs, 6, seed=9)
+        assert 0.0 < r.utilization <= 1.0
+
+
+class TestMetrics:
+    def test_parallelism_bounds_speedup(self, rng):
+        costs = rng.uniform(1e-6, 1e-5, 500)
+        ws = analyze(costs, 8)
+        r = simulate_work_stealing(costs, 8, seed=0)
+        assert r.speedup <= ws.parallelism * 1.01 + 1.0
+
+    def test_greedy_bound_monotone_in_workers(self, rng):
+        costs = rng.uniform(1e-6, 1e-5, 500)
+        ws = analyze(costs, 4)
+        assert ws.greedy_bound(2) > ws.greedy_bound(8)

@@ -1,0 +1,30 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out.split()
+        assert "fig8" in out and "table1" in out
+
+    def test_run_table1(self, capsys):
+        assert main(["run", "table1"]) == 0
+        out = capsys.readouterr().out
+        assert "all pass" in out
+        assert "Lonestar4" in out
+
+    def test_run_table2(self, capsys):
+        assert main(["run", "table2"]) == 0
+        assert "OCT_MPI+CILK" in capsys.readouterr().out
+
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError):
+            main(["run", "fig99"])
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,38 @@
+"""Unit tests for physical constants and the GB prefactor."""
+
+import math
+
+import pytest
+
+from repro import constants
+
+
+def test_coulomb_constant_is_mm_convention():
+    # The 332.06 kcal*A/(mol e^2) factor every MM GB code uses.
+    assert 332.0 < constants.COULOMB_KCAL < 332.1
+
+
+def test_gb_prefactor_negative_for_water():
+    assert constants.gb_prefactor() < 0.0
+
+
+def test_gb_prefactor_magnitude():
+    # -1/2 * 332.06 * (1 - 1/80)
+    expected = -0.5 * constants.COULOMB_KCAL * (1.0 - 1.0 / 80.0)
+    assert constants.gb_prefactor() == pytest.approx(expected)
+
+
+def test_gb_prefactor_vanishes_without_dielectric_contrast():
+    assert constants.gb_prefactor(epsilon_solvent=1.0,
+                                  epsilon_interior=1.0) == pytest.approx(0.0)
+
+
+def test_gb_prefactor_rejects_nonpositive_dielectric():
+    with pytest.raises(ValueError):
+        constants.gb_prefactor(epsilon_solvent=0.0)
+    with pytest.raises(ValueError):
+        constants.gb_prefactor(epsilon_interior=-1.0)
+
+
+def test_four_pi():
+    assert constants.FOUR_PI == pytest.approx(4.0 * math.pi)

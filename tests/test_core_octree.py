@@ -1,0 +1,198 @@
+"""Tests for the octree Born-radii and energy algorithms -- the paper's
+core contribution (Figs. 2 and 3)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import EXACT_MATCH_RTOL
+from repro.core.binning import MAX_BINS, build_binning
+from repro.core.born import (AtomTreeData, BornPartial, QuadTreeData,
+                             approx_integrals, born_radii_octree,
+                             push_integrals_to_atoms)
+from repro.core.energy import (EnergyContext, approx_epol, epol_from_pair_sum,
+                               epol_octree)
+from repro.core.naive import naive_born_radii, naive_epol
+from repro.molecule.generators import protein_blob
+from repro.octree.partition import segment_leaves
+from repro.surface.sas import build_surface
+
+
+@pytest.fixture(scope="module")
+def setup():
+    mol = protein_blob(250, seed=21)
+    surf = build_surface(mol, points_per_atom=12)
+    atoms = AtomTreeData.build(mol, leaf_cap=16)
+    quad = QuadTreeData.build(surf, leaf_cap=48)
+    return mol, surf, atoms, quad
+
+
+class TestBornExactness:
+    def test_disable_far_matches_naive(self, setup):
+        mol, surf, atoms, quad = setup
+        partial = approx_integrals(atoms, quad, quad.tree.leaves, 0.9,
+                                   disable_far=True)
+        sorted_r = push_integrals_to_atoms(atoms, partial,
+                                           max_radius=2 * mol.bounding_radius)
+        octree = atoms.to_original_order(sorted_r)
+        naive = naive_born_radii(mol, surf)
+        np.testing.assert_allclose(octree, naive, rtol=EXACT_MATCH_RTOL)
+
+    def test_eps_error_small_at_09(self, setup):
+        mol, surf, atoms, quad = setup
+        octree = born_radii_octree(mol, surf, eps=0.9, leaf_cap=16)
+        naive = naive_born_radii(mol, surf)
+        rel = np.abs(octree - naive) / naive
+        assert rel.max() < 0.05   # individual radii within a few percent
+
+    def test_error_shrinks_with_eps(self, setup):
+        mol, surf, atoms, quad = setup
+        naive = naive_born_radii(mol, surf)
+        errs = []
+        for eps in (0.9, 0.3, 0.05):
+            octree = born_radii_octree(mol, surf, eps=eps, leaf_cap=16)
+            errs.append(np.abs(octree - naive).max())
+        assert errs[0] >= errs[1] >= errs[2]
+
+
+class TestBornPartition:
+    def test_partials_are_additive(self, setup):
+        """Summing per-rank partials over any leaf partition reproduces
+        the full-run partial exactly (Fig. 4 Step 3's Allreduce)."""
+        mol, surf, atoms, quad = setup
+        full = approx_integrals(atoms, quad, quad.tree.leaves, 0.9)
+        for nparts in (2, 5, 9):
+            combined = BornPartial.zeros(atoms)
+            for leaves in segment_leaves(quad.tree, nparts):
+                combined.add(approx_integrals(atoms, quad, leaves, 0.9))
+            np.testing.assert_allclose(combined.s_node, full.s_node,
+                                       rtol=1e-12, atol=1e-15)
+            np.testing.assert_allclose(combined.s_atom, full.s_atom,
+                                       rtol=1e-12, atol=1e-15)
+
+    def test_atom_range_restricts_output(self, setup):
+        mol, surf, atoms, quad = setup
+        partial = approx_integrals(atoms, quad, quad.tree.leaves, 0.9)
+        full = push_integrals_to_atoms(atoms, partial,
+                                       max_radius=2 * mol.bounding_radius)
+        lo, hi = 10, 60
+        ranged = push_integrals_to_atoms(atoms, partial,
+                                         max_radius=2 * mol.bounding_radius,
+                                         atom_range=(lo, hi))
+        np.testing.assert_array_equal(ranged[lo:hi], full[lo:hi])
+        assert np.all(ranged[:lo] == 0) and np.all(ranged[hi:] == 0)
+
+    def test_per_leaf_counters_sum_to_total(self, setup):
+        mol, surf, atoms, quad = setup
+        per_leaf = []
+        partial = approx_integrals(atoms, quad, quad.tree.leaves, 0.9,
+                                   per_leaf=per_leaf)
+        assert len(per_leaf) == len(quad.tree.leaves)
+        assert sum(c.exact_pairs for c in per_leaf) == \
+            partial.counters.exact_pairs
+        assert sum(c.nodes_visited for c in per_leaf) == \
+            partial.counters.nodes_visited
+
+
+class TestEnergy:
+    def test_disable_far_matches_naive(self, setup):
+        mol, surf, atoms, quad = setup
+        naive_R = naive_born_radii(mol, surf)
+        # Use identical (sorted) radii for both pathways.
+        sorted_R = naive_R[atoms.tree.perm]
+        ctx = EnergyContext.build(atoms, sorted_R, 0.9)
+        partial = approx_epol(ctx, atoms.tree.leaves, 0.9, disable_far=True)
+        octree_E = epol_from_pair_sum(partial.pair_sum)
+        naive_E = naive_epol(mol, naive_R)
+        assert octree_E == pytest.approx(naive_E, rel=1e-12)
+
+    def test_eps_error_below_one_percent(self, setup):
+        mol, surf, atoms, quad = setup
+        naive_R = naive_born_radii(mol, surf)
+        sorted_R = naive_R[atoms.tree.perm]
+        ctx = EnergyContext.build(atoms, sorted_R, 0.9)
+        octree_E = epol_octree(ctx, eps=0.9)
+        naive_E = naive_epol(mol, naive_R)
+        assert abs(octree_E - naive_E) / abs(naive_E) < 0.01
+
+    def test_partition_invariance_exact(self, setup):
+        """Node-based division: identical partial sums for every P, to
+        floating-point addition order (paper Section IV.A)."""
+        mol, surf, atoms, quad = setup
+        sorted_R = naive_born_radii(mol, surf)[atoms.tree.perm]
+        ctx = EnergyContext.build(atoms, sorted_R, 0.9)
+        full = approx_epol(ctx, atoms.tree.leaves, 0.9).pair_sum
+        for nparts in (2, 4, 8):
+            total = sum(approx_epol(ctx, leaves, 0.9).pair_sum
+                        for leaves in segment_leaves(atoms.tree, nparts))
+            assert total == pytest.approx(full, rel=1e-12)
+
+    def test_energy_negative(self, setup):
+        mol, surf, atoms, quad = setup
+        sorted_R = naive_born_radii(mol, surf)[atoms.tree.perm]
+        ctx = EnergyContext.build(atoms, sorted_R, 0.9)
+        assert epol_octree(ctx, eps=0.9) < 0
+
+    def test_error_shrinks_with_eps(self, setup):
+        mol, surf, atoms, quad = setup
+        naive_R = naive_born_radii(mol, surf)
+        sorted_R = naive_R[atoms.tree.perm]
+        naive_E = naive_epol(mol, naive_R)
+        errs = []
+        for eps in (0.9, 0.3):
+            ctx = EnergyContext.build(atoms, sorted_R, eps)
+            errs.append(abs(epol_octree(ctx, eps=eps) - naive_E))
+        assert errs[1] <= errs[0] + 1e-12
+
+
+class TestBinning:
+    def test_single_bin_for_equal_radii(self):
+        b = build_binning(np.full(10, 2.5), 0.5)
+        assert b.nbins == 1
+        assert np.all(b.bin_index == 0)
+
+    def test_bin_ratio_bounded(self, rng):
+        radii = rng.uniform(1.0, 9.0, 500)
+        b = build_binning(radii, 0.4)
+        for k in range(b.nbins):
+            vals = radii[b.bin_index == k]
+            if len(vals) > 1:
+                assert vals.max() / vals.min() <= b.base * (1 + 1e-9)
+
+    def test_extremes_in_end_bins(self, rng):
+        radii = rng.uniform(1.0, 9.0, 200)
+        b = build_binning(radii, 0.3)
+        assert b.bin_index[np.argmin(radii)] == 0
+        assert b.bin_index[np.argmax(radii)] == b.nbins - 1
+
+    def test_bin_cap(self):
+        radii = np.array([1.0, 1e6])
+        b = build_binning(radii, 1e-4)
+        assert b.nbins <= MAX_BINS
+
+    def test_pair_radius_matrix(self):
+        b = build_binning(np.array([1.0, 2.0, 4.0]), 0.9)
+        m = b.pair_radius_sq()
+        assert m.shape == (b.nbins, b.nbins)
+        np.testing.assert_allclose(m, m.T)
+        assert m[0, 0] == pytest.approx(b.r_min ** 2)
+
+    @given(st.integers(min_value=2, max_value=200),
+           st.floats(min_value=0.05, max_value=2.0),
+           st.integers(min_value=0, max_value=2 ** 31 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_property_bins_valid(self, n, eps, seed):
+        rng = np.random.default_rng(seed)
+        radii = rng.uniform(0.5, 50.0, n)
+        b = build_binning(radii, eps)
+        assert b.bin_index.min() >= 0
+        assert b.bin_index.max() < b.nbins
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            build_binning(np.array([1.0]), 0.0)
+        with pytest.raises(ValueError):
+            build_binning(np.array([-1.0]), 0.5)
+        with pytest.raises(ValueError):
+            build_binning(np.empty(0), 0.5)

@@ -1,0 +1,83 @@
+"""Tests for the data-distribution exploration (paper's future work)."""
+
+import numpy as np
+import pytest
+
+from repro.core.born import BornPartial, approx_integrals
+from repro.parallel.datadist import (analyze_distribution,
+                                     born_partial_from_halo, plan_halos)
+
+
+class TestHaloPlan:
+    def test_owners_partition_leaves(self, medium_calc):
+        plan = plan_halos(medium_calc.atom_tree(), medium_calc.quad_tree(),
+                          0.9, nranks=4)
+        assert plan.owner_of_atom_leaf.min() >= 0
+        assert plan.owner_of_atom_leaf.max() <= 3
+        assert plan.owner_of_q_leaf.max() <= 3
+
+    def test_halo_covers_near_field(self, medium_calc):
+        """Every atom leaf a rank's traversal touches is in its plan --
+        the guarantee that data distribution never faults on a missing
+        remote leaf."""
+        atoms = medium_calc.atom_tree()
+        quad = medium_calc.quad_tree()
+        plan = plan_halos(atoms, quad, 0.9, nranks=3)
+        from repro.octree.mac import born_mac_multiplier
+        from repro.octree.partition import segment_leaf_bounds
+        from repro.octree.traversal import classify_against_ball
+        mult = born_mac_multiplier(0.9)
+        leaf_index = {int(v): i for i, v in enumerate(atoms.tree.leaves)}
+        for rank, (lo, hi) in enumerate(
+                segment_leaf_bounds(quad.tree, 3)):
+            granted = set(plan.needed_atom_leaves[rank].tolist())
+            for leaf in quad.tree.leaves[lo:hi]:
+                cls = classify_against_ball(
+                    atoms.tree, quad.tree.ball_center[leaf],
+                    float(quad.tree.ball_radius[leaf]), mult)
+                touched = {leaf_index[int(v)] for v in cls.near_leaves}
+                assert touched <= granted
+
+
+class TestDistributionAccounting:
+    def test_energies_unchanged(self, medium_calc):
+        """Data distribution is a pure memory/traffic trade: summed
+        partials equal the replicated full run to addition-reordering
+        rounding (float addition is not associative across ranks)."""
+        atoms = medium_calc.atom_tree()
+        quad = medium_calc.quad_tree()
+        full = approx_integrals(atoms, quad, quad.tree.leaves, 0.9)
+        combined = BornPartial.zeros(atoms)
+        for rank in range(5):
+            combined.add(born_partial_from_halo(atoms, quad, 0.9, rank, 5))
+        np.testing.assert_allclose(combined.s_atom, full.s_atom,
+                                   rtol=1e-11, atol=1e-13)
+        np.testing.assert_allclose(combined.s_node, full.s_node,
+                                   rtol=1e-11, atol=1e-300)
+
+    def test_memory_shrinks(self, medium_calc):
+        dist = analyze_distribution(medium_calc, nranks=8)
+        assert dist.distributed_bytes.max() < dist.replicated_bytes
+        assert dist.memory_reduction > 1.0
+
+    def test_single_rank_has_no_halo(self, medium_calc):
+        dist = analyze_distribution(medium_calc, nranks=1)
+        assert dist.halo_traffic_bytes == 0
+        assert dist.halo_messages == 0
+
+    def test_traffic_grows_with_ranks(self, medium_calc):
+        t2 = analyze_distribution(medium_calc, nranks=2).halo_traffic_bytes
+        t8 = analyze_distribution(medium_calc, nranks=8).halo_traffic_bytes
+        assert t8 >= t2
+
+    def test_owned_bytes_cover_all_points(self, medium_calc):
+        from repro.parallel.datadist import BYTES_PER_ATOM, BYTES_PER_QPOINT
+        dist = analyze_distribution(medium_calc, nranks=6)
+        natoms = medium_calc.atom_tree().tree.npoints
+        nq = medium_calc.quad_tree().tree.npoints
+        expected = natoms * BYTES_PER_ATOM + nq * BYTES_PER_QPOINT
+        assert dist.owned_bytes.sum() == pytest.approx(expected)
+
+    def test_invalid_ranks(self, medium_calc):
+        with pytest.raises(ValueError):
+            analyze_distribution(medium_calc, nranks=0)

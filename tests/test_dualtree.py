@@ -1,0 +1,85 @@
+"""Tests for the prior-work dual-tree Born scheme ([6]) and its
+relationship to the paper's per-leaf scheme."""
+
+import numpy as np
+import pytest
+
+from repro.core.born import (AtomTreeData, QuadTreeData, approx_integrals,
+                             push_integrals_to_atoms)
+from repro.core.dualtree import dual_tree_born_radii, dual_tree_integrals
+from repro.core.naive import naive_born_radii
+from repro.molecule.generators import protein_blob
+from repro.surface.sas import build_surface
+
+
+@pytest.fixture(scope="module")
+def setup():
+    mol = protein_blob(300, seed=51)
+    surf = build_surface(mol, points_per_atom=12)
+    atoms = AtomTreeData.build(mol, leaf_cap=16)
+    quad = QuadTreeData.build(surf, leaf_cap=48)
+    return mol, surf, atoms, quad
+
+
+class TestDualTreeCorrectness:
+    def test_exact_mode_matches_naive(self, setup):
+        mol, surf, atoms, quad = setup
+        partial = dual_tree_integrals(atoms, quad, 0.9, disable_far=True)
+        sorted_r = push_integrals_to_atoms(atoms, partial,
+                                           max_radius=2 * mol.bounding_radius)
+        octree = atoms.to_original_order(sorted_r)
+        naive = naive_born_radii(mol, surf)
+        np.testing.assert_allclose(octree, naive, rtol=1e-10)
+
+    def test_approx_error_small(self, setup):
+        mol, surf, atoms, quad = setup
+        radii = dual_tree_born_radii(atoms, quad, 0.9,
+                                     max_radius=2 * mol.bounding_radius)
+        naive = naive_born_radii(mol, surf)[atoms.tree.perm]
+        rel = np.abs(radii - naive) / naive
+        assert rel.max() < 0.05
+
+    def test_error_shrinks_with_eps(self, setup):
+        mol, surf, atoms, quad = setup
+        naive = naive_born_radii(mol, surf)[atoms.tree.perm]
+        errs = []
+        for eps in (0.9, 0.2):
+            radii = dual_tree_born_radii(atoms, quad, eps,
+                                         max_radius=2 * mol.bounding_radius)
+            errs.append(np.abs(radii - naive).max())
+        assert errs[1] <= errs[0] + 1e-15
+
+
+class TestSchemeComparison:
+    """Section IV's contrast between [6] and the paper's per-leaf scheme."""
+
+    def test_dual_tree_does_fewer_far_evals(self, setup):
+        """Approximating at internal node pairs means fewer (coarser)
+        far-field evaluations than the per-leaf walk."""
+        mol, surf, atoms, quad = setup
+        dual = dual_tree_integrals(atoms, quad, 0.9)
+        per_leaf = approx_integrals(atoms, quad, quad.tree.leaves, 0.9)
+        assert dual.counters.far_evals <= per_leaf.counters.far_evals
+
+    def test_per_leaf_no_less_accurate(self, setup):
+        """Paper Section IV.A: leaf-granularity interaction 'leads to less
+        approximation compared to approximating at internal nodes'."""
+        mol, surf, atoms, quad = setup
+        naive = naive_born_radii(mol, surf)[atoms.tree.perm]
+
+        dual_r = dual_tree_born_radii(atoms, quad, 0.9,
+                                      max_radius=2 * mol.bounding_radius)
+        pl = approx_integrals(atoms, quad, quad.tree.leaves, 0.9)
+        pl_r = push_integrals_to_atoms(atoms, pl,
+                                       max_radius=2 * mol.bounding_radius)
+        err_dual = np.abs(dual_r - naive).mean()
+        err_leaf = np.abs(pl_r - naive).mean()
+        assert err_leaf <= err_dual * 1.05
+
+    def test_same_exact_pair_coverage_when_far_disabled(self, setup):
+        mol, surf, atoms, quad = setup
+        dual = dual_tree_integrals(atoms, quad, 0.9, disable_far=True)
+        per_leaf = approx_integrals(atoms, quad, quad.tree.leaves, 0.9,
+                                    disable_far=True)
+        assert dual.counters.exact_pairs == per_leaf.counters.exact_pairs
+        np.testing.assert_allclose(dual.s_atom, per_leaf.s_atom, rtol=1e-12)

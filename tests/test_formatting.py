@@ -1,0 +1,61 @@
+"""Formatting/reporting edge cases: table cells, series, error summaries."""
+
+import pytest
+
+from repro.analysis.metrics import Series
+from repro.analysis.tables import format_cell, render_table
+from repro.core.error import ErrorSummary
+
+
+class TestFormatCell:
+    def test_integers_pass_through(self):
+        assert format_cell(42) == "42"
+
+    def test_small_float_uses_sig_figs(self):
+        assert format_cell(0.00123) == "0.00123"
+
+    def test_large_float_compact(self):
+        assert format_cell(123456.0) == "1.23e+05"
+
+    def test_trailing_zeros_stripped(self):
+        assert format_cell(1.500) == "1.5"
+        assert format_cell(2.000) == "2"
+
+    def test_strings_pass_through(self):
+        assert format_cell("OCT_MPI") == "OCT_MPI"
+
+    def test_negative(self):
+        assert format_cell(-0.25) == "-0.25"
+
+
+class TestRenderTable:
+    def test_empty_rows(self):
+        out = render_table(["a", "b"], [])
+        assert len(out.splitlines()) == 2  # header + rule
+
+    def test_mixed_types(self):
+        out = render_table(["name", "t"], [["x", float("inf")],
+                                           ["y", float("nan")]])
+        assert "OOM" in out and "--" in out
+
+
+class TestSeries:
+    def test_build_coerces_floats(self):
+        s = Series.build("s", [1, 2], [3, 4])
+        assert s.x == (1.0, 2.0)
+        assert s.min_y() == 3.0 and s.max_y() == 4.0
+
+
+class TestErrorSummary:
+    def test_from_samples(self):
+        summary = ErrorSummary.from_samples([0.1, -0.3, 0.2])
+        assert summary.count == 3
+        assert summary.worst == pytest.approx(0.3)
+
+    def test_str_contains_stats(self):
+        text = str(ErrorSummary.from_samples([0.5, 0.5]))
+        assert "+0.500%" in text and "n = 2" in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ErrorSummary.from_samples([])

@@ -1,0 +1,116 @@
+"""Tests for the pairwise GB formulas (f_GB, HCT, OBC, Still-volume)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.gbmodels import (f_gb, hct_born_radii,
+                                 hct_descreening_integral, hct_scale_factors,
+                                 obc_born_radii, still_volume_born_radii)
+from repro.molecule.generators import protein_blob
+from repro.molecule.molecule import from_arrays
+
+
+class TestFGB:
+    def test_symmetry(self, rng):
+        r2 = rng.uniform(0.1, 100, 50)
+        ri = rng.uniform(1, 5, 50)
+        rj = rng.uniform(1, 5, 50)
+        np.testing.assert_allclose(f_gb(r2, ri * rj), f_gb(r2, rj * ri))
+
+    def test_contact_limit(self):
+        # r -> 0: f -> sqrt(R_i R_j); the diagonal gives the self energy.
+        assert f_gb(np.array(0.0), np.array(4.0)) == pytest.approx(2.0)
+
+    def test_far_limit(self):
+        # r -> inf: f -> r (plain Coulomb).
+        r2 = np.array(1e8)
+        assert f_gb(r2, np.array(4.0)) == pytest.approx(1e4, rel=1e-6)
+
+    @given(st.floats(min_value=0.0, max_value=1e4),
+           st.floats(min_value=0.01, max_value=100.0))
+    @settings(max_examples=50, deadline=None)
+    def test_property_bounds(self, r2, born_product):
+        # sqrt(max(r^2, RiRj/e...)) <= f <= sqrt(r^2 + RiRj)
+        f = float(f_gb(np.array(r2), np.array(born_product)))
+        assert f <= np.sqrt(r2 + born_product) + 1e-12
+        assert f >= np.sqrt(r2) - 1e-12
+
+    def test_monotone_in_distance(self):
+        r2 = np.linspace(0, 100, 200)
+        f = f_gb(r2, np.full_like(r2, 2.5))
+        assert np.all(np.diff(f) > 0)
+
+
+class TestHCT:
+    def test_scale_factors_known_elements(self):
+        mol = from_arrays(np.zeros((2, 3)), elements=["H", "S"])
+        s = hct_scale_factors(mol)
+        assert s.tolist() == [0.85, 0.96]
+
+    def test_integral_zero_when_engulfed(self):
+        # Neighbour sphere entirely inside atom i: no descreening.
+        out = hct_descreening_integral(np.array(5.0), np.array(1.0),
+                                       np.array(0.5))
+        assert out == pytest.approx(0.0)
+
+    def test_integral_positive_outside(self):
+        out = hct_descreening_integral(np.array(1.5), np.array(4.0),
+                                       np.array(1.2))
+        assert out > 0
+
+    def test_integral_decreases_with_distance(self):
+        r = np.linspace(3.0, 20.0, 50)
+        out = hct_descreening_integral(np.full_like(r, 1.5), r,
+                                       np.full_like(r, 1.2))
+        assert np.all(np.diff(out) < 0)
+
+    def test_isolated_atom_keeps_intrinsic_radius(self):
+        mol = from_arrays(np.zeros((1, 3)), radii=np.array([1.7]))
+        R = hct_born_radii(mol)
+        assert R[0] == pytest.approx(1.7 - 0.09)  # rho = r - offset
+
+    def test_buried_atoms_have_larger_radii(self):
+        mol = protein_blob(400, seed=3)
+        R = hct_born_radii(mol)
+        center_dist = np.linalg.norm(mol.positions - mol.centroid, axis=1)
+        inner = R[center_dist < np.percentile(center_dist, 20)]
+        outer = R[center_dist > np.percentile(center_dist, 80)]
+        assert inner.mean() > outer.mean()
+
+    def test_cutoff_reduces_descreening(self):
+        mol = protein_blob(300, seed=4)
+        full = hct_born_radii(mol)
+        cut = hct_born_radii(mol, cutoff=4.0)
+        # Less descreening with a cutoff -> smaller Born radii.
+        assert cut.mean() <= full.mean() + 1e-12
+
+
+class TestOBC:
+    def test_radii_bounded_below_by_rho(self):
+        mol = protein_blob(300, seed=5)
+        R = obc_born_radii(mol)
+        assert np.all(R >= mol.radii - 0.09 - 1e-9)
+
+    def test_obc_tames_hct_for_buried_atoms(self):
+        # OBC's tanh rescaling keeps deep-atom radii finite and typically
+        # below raw HCT values for strongly descreened atoms.
+        mol = protein_blob(500, seed=6)
+        hct = hct_born_radii(mol)
+        obc = obc_born_radii(mol)
+        assert np.isfinite(obc).all()
+        assert obc.max() <= hct.max() * 5  # sanity, no blow-up
+
+
+class TestStillVolume:
+    def test_under_descreens_vs_hct(self):
+        mol = protein_blob(400, seed=7)
+        still = still_volume_born_radii(mol)
+        assert np.isfinite(still).all()
+        assert np.all(still >= mol.radii - 1e-9)
+
+    def test_scale_zero_gives_intrinsic(self):
+        mol = protein_blob(50, seed=8)
+        R = still_volume_born_radii(mol, scale=0.0)
+        np.testing.assert_allclose(R, mol.radii)

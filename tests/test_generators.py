@@ -1,0 +1,125 @@
+"""Tests for the synthetic molecule generators."""
+
+import numpy as np
+import pytest
+
+from repro.molecule.elements import PROTEIN_ATOM_DENSITY
+from repro.molecule.generators import (btv_analogue, cmv_analogue,
+                                       icosahedral_shell, protein_blob,
+                                       two_body_complex)
+from repro.molecule import zdock
+
+
+class TestProteinBlob:
+    def test_deterministic(self):
+        a = protein_blob(300, seed=42)
+        b = protein_blob(300, seed=42)
+        np.testing.assert_array_equal(a.positions, b.positions)
+        np.testing.assert_array_equal(a.charges, b.charges)
+
+    def test_seed_changes_output(self):
+        a = protein_blob(300, seed=1)
+        b = protein_blob(300, seed=2)
+        assert not np.array_equal(a.positions, b.positions)
+
+    def test_atom_count(self):
+        for n in (1, 17, 400, 2500):
+            assert len(protein_blob(n, seed=0)) == n
+
+    def test_density_near_protein(self):
+        mol = protein_blob(3000, seed=5)
+        # Estimate density from the bounding ball of atom centres.
+        r = np.linalg.norm(mol.positions - mol.centroid, axis=1).max()
+        density = len(mol) / (4.0 / 3.0 * np.pi * r ** 3)
+        assert density == pytest.approx(PROTEIN_ATOM_DENSITY, rel=0.35)
+
+    def test_near_neutral(self):
+        mol = protein_blob(2000, seed=6)
+        assert abs(mol.total_charge) < 6.0
+
+    def test_min_spacing_reasonable(self):
+        mol = protein_blob(500, seed=7)
+        from repro.geometry import CellGrid
+        grid = CellGrid(mol.positions, cell_size=3.0)
+        min_d = np.inf
+        for i in range(len(mol)):
+            nb = grid.query_radius(mol.positions[i], 3.0)
+            nb = nb[nb != i]
+            if len(nb):
+                d = np.linalg.norm(mol.positions[nb] - mol.positions[i],
+                                   axis=1).min()
+                min_d = min(min_d, d)
+        # Jittered lattice guarantees no coincident atoms.
+        assert min_d > 0.5
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            protein_blob(0, seed=0)
+
+
+class TestShells:
+    def test_shell_is_hollow(self):
+        mol = icosahedral_shell(5000, seed=1, thickness=10.0)
+        r = np.linalg.norm(mol.positions - mol.centroid, axis=1)
+        # No atoms near the centre.
+        assert r.min() > 0.4 * r.max()
+
+    def test_shell_thickness(self):
+        mol = icosahedral_shell(8000, seed=2, thickness=15.0)
+        r = np.linalg.norm(mol.positions, axis=1)
+        spread = r.max() - r.min()
+        assert 10.0 <= spread <= 25.0
+
+    def test_cmv_scaling(self):
+        small = cmv_analogue(scale=0.01, seed=0)
+        assert len(small) == pytest.approx(5096, abs=5)
+
+    def test_btv_scaling(self):
+        small = btv_analogue(scale=0.001, seed=0)
+        assert len(small) == pytest.approx(6000, abs=5)
+
+    def test_shell_deterministic(self):
+        a = icosahedral_shell(1000, seed=9)
+        b = icosahedral_shell(1000, seed=9)
+        np.testing.assert_array_equal(a.positions, b.positions)
+
+
+class TestComplex:
+    def test_two_bodies_do_not_overlap(self):
+        mol = two_body_complex(400, 150, seed=3, separation=2.0)
+        assert len(mol) == 550
+        # Receptor atoms are first; ligand is displaced along +x.
+        rec = mol.positions[:400]
+        lig = mol.positions[400:]
+        assert lig[:, 0].min() > rec[:, 0].max() - 1e-9
+
+
+class TestZDockRegistry:
+    def test_84_entries(self):
+        assert len(zdock.entries()) == zdock.N_COMPLEXES == 84
+
+    def test_size_span(self):
+        sizes = zdock.suite_sizes()
+        assert min(sizes) == zdock.MIN_ATOMS == 400
+        assert max(sizes) == zdock.MAX_ATOMS == 16301
+
+    def test_anchor_sizes_present(self):
+        assert zdock.GROMACS_PEAK_ATOMS in zdock.suite_sizes()
+
+    def test_molecule_cached(self):
+        a = zdock.molecule(0)
+        b = zdock.molecule(0)
+        assert a is b
+
+    def test_molecule_size_matches_entry(self):
+        entry = zdock.entries()[3]
+        assert len(zdock.molecule(3)) == entry.natoms
+
+    def test_stride_filters(self):
+        mols = list(zdock.molecules(stride=12, max_atoms=5000))
+        assert all(len(m) <= 5000 for m in mols)
+        assert len(mols) >= 2
+
+    def test_out_of_range_index(self):
+        with pytest.raises(IndexError):
+            zdock.molecule(84)

@@ -1,0 +1,83 @@
+"""Tests for the cell grid and rotation helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import CellGrid, random_rotation, rotation_matrix
+
+
+def brute_force_radius(points, center, radius):
+    d2 = np.sum((points - center) ** 2, axis=1)
+    return np.flatnonzero(d2 < radius * radius)
+
+
+class TestCellGrid:
+    def test_query_matches_brute_force(self, rng):
+        pts = rng.uniform(-10, 10, size=(500, 3))
+        grid = CellGrid(pts, cell_size=3.0)
+        for _ in range(20):
+            center = rng.uniform(-12, 12, size=3)
+            radius = float(rng.uniform(0.5, 6.0))
+            got = np.sort(grid.query_radius(center, radius))
+            want = np.sort(brute_force_radius(pts, center, radius))
+            np.testing.assert_array_equal(got, want)
+
+    def test_candidates_is_superset(self, rng):
+        pts = rng.uniform(0, 5, size=(200, 3))
+        grid = CellGrid(pts, cell_size=1.0)
+        center = np.array([2.5, 2.5, 2.5])
+        cand = set(grid.candidates(center, 1.5).tolist())
+        true = set(brute_force_radius(pts, center, 1.5).tolist())
+        assert true <= cand
+
+    def test_empty_result_far_away(self, rng):
+        pts = rng.uniform(0, 1, size=(50, 3))
+        grid = CellGrid(pts, cell_size=1.0)
+        assert len(grid.query_radius([100, 100, 100], 2.0)) == 0
+
+    def test_single_point(self):
+        grid = CellGrid(np.array([[1.0, 2.0, 3.0]]), cell_size=1.0)
+        assert grid.query_radius([1, 2, 3], 0.5).tolist() == [0]
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            CellGrid(np.zeros((3, 2)), cell_size=1.0)
+        with pytest.raises(ValueError):
+            CellGrid(np.zeros((3, 3)), cell_size=0.0)
+
+    @given(st.integers(min_value=1, max_value=200),
+           st.floats(min_value=0.3, max_value=4.0),
+           st.integers(min_value=0, max_value=2 ** 31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_property_query_equals_brute_force(self, n, radius, seed):
+        r = np.random.default_rng(seed)
+        pts = r.uniform(-5, 5, size=(n, 3))
+        grid = CellGrid(pts, cell_size=1.5)
+        center = r.uniform(-6, 6, size=3)
+        got = np.sort(grid.query_radius(center, radius))
+        want = np.sort(brute_force_radius(pts, center, radius))
+        np.testing.assert_array_equal(got, want)
+
+
+class TestRotations:
+    def test_rotation_matrix_orthogonal(self):
+        rot = rotation_matrix([1, 2, 3], 0.7)
+        np.testing.assert_allclose(rot @ rot.T, np.eye(3), atol=1e-12)
+        assert np.linalg.det(rot) == pytest.approx(1.0)
+
+    def test_rotation_about_axis_fixes_axis(self):
+        axis = np.array([0.0, 0.0, 2.0])
+        rot = rotation_matrix(axis, 1.3)
+        np.testing.assert_allclose(rot @ axis, axis, atol=1e-12)
+
+    def test_zero_axis_rejected(self):
+        with pytest.raises(ValueError):
+            rotation_matrix([0, 0, 0], 1.0)
+
+    def test_random_rotation_proper(self, rng):
+        for _ in range(10):
+            rot = random_rotation(rng)
+            np.testing.assert_allclose(rot @ rot.T, np.eye(3), atol=1e-10)
+            assert np.linalg.det(rot) == pytest.approx(1.0)

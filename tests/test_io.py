@@ -1,0 +1,79 @@
+"""PDB/PQR round-trip tests."""
+
+import numpy as np
+import pytest
+
+from repro.molecule.generators import protein_blob
+from repro.molecule.pdb import read_pdb, write_pdb
+from repro.molecule.pqr import read_pqr, write_pqr
+
+
+@pytest.fixture()
+def molecule():
+    return protein_blob(40, seed=3)
+
+
+class TestPQR:
+    def test_round_trip(self, molecule, tmp_path):
+        path = tmp_path / "mol.pqr"
+        write_pqr(molecule, path)
+        back = read_pqr(path)
+        assert len(back) == len(molecule)
+        np.testing.assert_allclose(back.positions, molecule.positions,
+                                   atol=1e-4)
+        np.testing.assert_allclose(back.charges, molecule.charges, atol=1e-4)
+        np.testing.assert_allclose(back.radii, molecule.radii, atol=1e-4)
+
+    def test_elements_survive(self, molecule, tmp_path):
+        path = tmp_path / "mol.pqr"
+        write_pqr(molecule, path)
+        back = read_pqr(path)
+        assert back.elements.tolist() == molecule.elements.tolist()
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.pqr"
+        path.write_text("REMARK nothing\nEND\n")
+        with pytest.raises(ValueError):
+            read_pqr(path)
+
+    def test_malformed_numeric_rejected(self, tmp_path):
+        path = tmp_path / "bad.pqr"
+        path.write_text("ATOM 1 C MOL 1 x y z q r\n")
+        with pytest.raises(ValueError):
+            read_pqr(path)
+
+
+class TestPDB:
+    def test_round_trip_positions(self, molecule, tmp_path):
+        path = tmp_path / "mol.pdb"
+        write_pdb(molecule, path)
+        back = read_pdb(path)
+        assert len(back) == len(molecule)
+        np.testing.assert_allclose(back.positions, molecule.positions,
+                                   atol=1e-3)
+
+    def test_pdb_has_no_charges(self, molecule, tmp_path):
+        path = tmp_path / "mol.pdb"
+        write_pdb(molecule, path)
+        back = read_pdb(path)
+        assert np.all(back.charges == 0.0)
+
+    def test_charge_lookup(self, molecule, tmp_path):
+        path = tmp_path / "mol.pdb"
+        write_pdb(molecule, path)
+        back = read_pdb(path, charge_lookup=lambda e: -0.1)
+        assert np.all(back.charges == -0.1)
+
+    def test_radii_from_elements(self, tmp_path):
+        path = tmp_path / "o.pdb"
+        path.write_text(
+            "ATOM      1 O   MOL A   1       1.000   2.000   3.000"
+            "  1.00  0.00           O\nEND\n")
+        back = read_pdb(path)
+        assert back.radii[0] == pytest.approx(1.52)
+
+    def test_no_atoms_rejected(self, tmp_path):
+        path = tmp_path / "none.pdb"
+        path.write_text("HEADER test\nEND\n")
+        with pytest.raises(ValueError):
+            read_pdb(path)

@@ -1,0 +1,126 @@
+"""Tests for machine specs, layouts, cost and memory models."""
+
+import pytest
+
+from repro.parallel.cost import CostModel, MemoryModel
+from repro.parallel.machine import (LONESTAR4, LONESTAR4_NETWORK, RankLayout,
+                                    layout_for_cores)
+from repro.runtime.instrument import WorkCounters
+
+
+class TestMachine:
+    def test_lonestar4_matches_table1(self):
+        assert LONESTAR4.cores_per_node == 12
+        assert LONESTAR4.sockets == 2
+        assert LONESTAR4.cores_per_socket == 6
+        assert LONESTAR4.l3_mb == 12
+        assert LONESTAR4.ram_gb == 24.0
+        assert LONESTAR4.clock_ghz == pytest.approx(3.33)
+
+    def test_p2p_cost_intra_cheaper(self):
+        inter = LONESTAR4_NETWORK.p2p_cost(4096, same_node=False)
+        intra = LONESTAR4_NETWORK.p2p_cost(4096, same_node=True)
+        assert intra < inter
+
+    def test_p2p_rejects_negative(self):
+        with pytest.raises(ValueError):
+            LONESTAR4_NETWORK.p2p_cost(-1, same_node=True)
+
+
+class TestLayout:
+    def test_counts(self):
+        layout = RankLayout(nodes=3, ranks_per_node=12, threads_per_rank=1)
+        assert layout.nranks == 36
+        assert layout.total_cores == 36
+
+    def test_hybrid_counts(self):
+        layout = RankLayout(nodes=3, ranks_per_node=2, threads_per_rank=6)
+        assert layout.nranks == 6
+        assert layout.total_cores == 36
+
+    def test_node_of(self):
+        layout = RankLayout(nodes=2, ranks_per_node=3)
+        assert [layout.node_of(r) for r in range(6)] == [0, 0, 0, 1, 1, 1]
+        assert layout.same_node(0, 2) and not layout.same_node(2, 3)
+
+    def test_node_of_range(self):
+        layout = RankLayout(nodes=2, ranks_per_node=2)
+        with pytest.raises(ValueError):
+            layout.node_of(4)
+
+    def test_layout_for_cores(self):
+        mpi = layout_for_cores(144, hybrid=False)
+        assert (mpi.nodes, mpi.ranks_per_node, mpi.threads_per_rank) == \
+            (12, 12, 1)
+        hyb = layout_for_cores(144, hybrid=True)
+        assert (hyb.nodes, hyb.ranks_per_node, hyb.threads_per_rank) == \
+            (12, 2, 6)
+
+    def test_layout_for_cores_rejects_partial_nodes(self):
+        with pytest.raises(ValueError):
+            layout_for_cores(18, hybrid=False)
+
+    def test_invalid_layout(self):
+        with pytest.raises(ValueError):
+            RankLayout(nodes=0, ranks_per_node=1)
+
+
+class TestCostModel:
+    def test_compute_seconds_additive(self):
+        cost = CostModel()
+        a = WorkCounters(exact_pairs=1000)
+        b = WorkCounters(far_evals=1000)
+        ab = WorkCounters(exact_pairs=1000, far_evals=1000)
+        assert cost.compute_seconds(ab) == pytest.approx(
+            cost.compute_seconds(a) + cost.compute_seconds(b))
+
+    def test_approx_math_speedup(self):
+        cost = CostModel()
+        counters = WorkCounters(exact_pairs=10 ** 6)
+        fast = cost.with_approx_math().compute_seconds(counters)
+        slow = cost.compute_seconds(counters)
+        assert slow / fast == pytest.approx(1.42)
+
+    def test_cache_factor_monotone(self):
+        cost = CostModel()
+        l3 = cost.machine.l3_bytes_per_socket
+        factors = [cost.cache_factor(b) for b in
+                   (l3 // 2, l3, 2 * l3, 8 * l3, 20 * l3)]
+        assert factors[0] == 1.0
+        assert all(f1 <= f2 for f1, f2 in zip(factors, factors[1:]))
+        assert factors[-1] == cost.ram_penalty
+
+    def test_cache_factor_thread_sharing(self):
+        cost = CostModel()
+        l3 = cost.machine.l3_bytes_per_socket
+        alone = cost.cache_factor(l3 // 2, threads_sharing_cache=1)
+        shared = cost.cache_factor(l3 // 2, threads_sharing_cache=6)
+        assert shared >= alone
+
+    def test_cache_factor_rejects_negative(self):
+        with pytest.raises(ValueError):
+            CostModel().cache_factor(-1.0)
+
+
+class TestMemoryModel:
+    def test_replication_scales_linearly(self):
+        mem = MemoryModel()
+        one = mem.node_bytes(10 ** 8, 1)
+        twelve = mem.node_bytes(10 ** 8, 12)
+        assert twelve == 12 * one
+
+    def test_hybrid_vs_mpi_ratio_near_six(self):
+        # The paper's 8.2 GB vs 1.4 GB observation: 12 vs 2 replicas.
+        mem = MemoryModel()
+        data = 600 * 1024 * 1024
+        ratio = mem.node_bytes(data, 12) / mem.node_bytes(data, 2)
+        assert ratio == pytest.approx(6.0)
+
+    def test_fits_on_node(self):
+        mem = MemoryModel()
+        assert mem.fits_on_node(10 ** 9, 12)
+        assert not mem.fits_on_node(3 * 10 ** 9, 12)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            MemoryModel().process_bytes(-1)

@@ -1,0 +1,115 @@
+"""Tests for the Molecule container."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import rotation_matrix
+from repro.molecule.molecule import Molecule, from_arrays
+
+
+def simple_molecule(n=5):
+    rng = np.random.default_rng(0)
+    return Molecule(rng.uniform(0, 10, (n, 3)), np.full(n, 1.5),
+                    rng.uniform(-0.5, 0.5, n))
+
+
+class TestConstruction:
+    def test_basic(self):
+        mol = simple_molecule()
+        assert len(mol) == 5
+        assert mol.natoms == 5
+        assert mol.elements.tolist() == ["C"] * 5
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            Molecule(np.zeros((3, 2)), np.ones(3), np.zeros(3))
+        with pytest.raises(ValueError):
+            Molecule(np.zeros((3, 3)), np.ones(4), np.zeros(3))
+        with pytest.raises(ValueError):
+            Molecule(np.zeros((3, 3)), np.ones(3), np.zeros(2))
+
+    def test_nonfinite_positions_rejected(self):
+        pos = np.zeros((2, 3))
+        pos[0, 0] = np.nan
+        with pytest.raises(ValueError):
+            Molecule(pos, np.ones(2), np.zeros(2))
+
+    def test_nonpositive_radius_rejected(self):
+        with pytest.raises(ValueError):
+            Molecule(np.zeros((2, 3)), np.array([1.0, 0.0]), np.zeros(2))
+
+    def test_from_arrays_defaults(self):
+        mol = from_arrays(np.zeros((3, 3)), elements=["O", "C", "H"])
+        assert mol.radii[0] == pytest.approx(1.52)   # Bondi oxygen
+        assert mol.radii[2] == pytest.approx(1.20)   # MM hydrogen
+        assert np.all(mol.charges == 0)
+
+
+class TestGeometry:
+    def test_centroid(self):
+        mol = from_arrays(np.array([[0, 0, 0], [2, 0, 0]], dtype=float))
+        np.testing.assert_allclose(mol.centroid, [1, 0, 0])
+
+    def test_bounding_radius_covers_spheres(self):
+        mol = simple_molecule(30)
+        d = np.linalg.norm(mol.positions - mol.centroid, axis=1) + mol.radii
+        assert mol.bounding_radius == pytest.approx(d.max())
+
+    def test_total_charge(self):
+        mol = from_arrays(np.zeros((2, 3)), charges=np.array([0.25, -0.75]))
+        assert mol.total_charge == pytest.approx(-0.5)
+
+
+class TestTransforms:
+    def test_translation(self):
+        mol = simple_molecule()
+        moved = mol.translated([1, 2, 3])
+        np.testing.assert_allclose(moved.positions - mol.positions,
+                                   np.broadcast_to([1, 2, 3], (5, 3)))
+
+    def test_rotation_preserves_internal_distances(self):
+        mol = simple_molecule(12)
+        rot = rotation_matrix([1, 1, 0], 0.9)
+        moved = mol.rotated(rot)
+        def pd(m):
+            return np.linalg.norm(
+                m.positions[:, None, :] - m.positions[None, :, :], axis=2)
+        np.testing.assert_allclose(pd(moved), pd(mol), atol=1e-9)
+
+    def test_rotation_about_centroid_keeps_centroid(self):
+        mol = simple_molecule(12)
+        rot = rotation_matrix([0, 1, 0], 1.2)
+        np.testing.assert_allclose(mol.rotated(rot).centroid, mol.centroid,
+                                   atol=1e-9)
+
+    def test_non_orthogonal_rotation_rejected(self):
+        mol = simple_molecule()
+        with pytest.raises(ValueError):
+            mol.rotated(np.eye(3) * 2.0)
+
+    def test_merged(self):
+        a, b = simple_molecule(3), simple_molecule(4)
+        ab = a.merged(b)
+        assert len(ab) == 7
+        np.testing.assert_allclose(ab.positions[:3], a.positions)
+
+    def test_subset(self):
+        mol = simple_molecule(6)
+        sub = mol.subset(np.array([0, 2, 4]))
+        assert len(sub) == 3
+        np.testing.assert_allclose(sub.positions[1], mol.positions[2])
+
+
+class TestValidation:
+    def test_validate_physical_accepts_generator_output(self):
+        from repro.molecule.generators import protein_blob
+        protein_blob(200, seed=1).validate_physical()
+
+    def test_validate_physical_rejects_net_charge(self):
+        mol = from_arrays(np.random.default_rng(0).uniform(0, 5, (10, 3)),
+                          charges=np.full(10, 3.0))
+        with pytest.raises(ValueError):
+            mol.validate_physical()
+
+    def test_nbytes_positive(self):
+        assert simple_molecule().nbytes() > 0

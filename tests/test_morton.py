@@ -1,0 +1,60 @@
+"""Tests for Morton (Z-order) codes."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.octree.morton import (BITS_PER_AXIS, decode, encode, quantize,
+                                 sort_order)
+
+
+class TestEncodeDecode:
+    def test_round_trip_lattice(self):
+        from repro.octree.morton import _spread_bits
+        rng = np.random.default_rng(0)
+        q = rng.integers(0, 2 ** BITS_PER_AXIS, size=(200, 3), dtype=np.uint64)
+        interleaved = (_spread_bits(q[:, 0])
+                       | (_spread_bits(q[:, 1]) << np.uint64(1))
+                       | (_spread_bits(q[:, 2]) << np.uint64(2)))
+        np.testing.assert_array_equal(decode(interleaved), q)
+
+    @given(st.integers(min_value=0, max_value=2 ** 31 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_property_round_trip(self, seed):
+        rng = np.random.default_rng(seed)
+        pts = rng.uniform(-100, 100, size=(64, 3))
+        origin = pts.min(axis=0)
+        extent = float((pts.max(axis=0) - origin).max() or 1.0)
+        codes = encode(pts, origin, extent)
+        q = quantize(pts, origin, extent)
+        np.testing.assert_array_equal(decode(codes), q)
+
+    def test_empty(self):
+        assert encode(np.empty((0, 3))).shape == (0,)
+
+    def test_monotone_along_axis(self):
+        # Along one axis with others fixed, codes increase monotonically.
+        x = np.linspace(0, 1, 50)
+        pts = np.column_stack([x, np.zeros(50), np.zeros(50)])
+        codes = encode(pts, np.zeros(3), 1.0)
+        assert np.all(np.diff(codes.astype(np.int64)) >= 0)
+
+
+class TestSortOrder:
+    def test_is_permutation(self):
+        rng = np.random.default_rng(1)
+        pts = rng.uniform(0, 1, size=(300, 3))
+        order = sort_order(pts)
+        assert sorted(order.tolist()) == list(range(300))
+
+    def test_locality(self):
+        """Morton order keeps spatial neighbours close: the mean hop
+        distance along the curve is far below random ordering's."""
+        rng = np.random.default_rng(2)
+        pts = rng.uniform(0, 1, size=(2000, 3))
+        order = sort_order(pts)
+        sorted_pts = pts[order]
+        hop = np.linalg.norm(np.diff(sorted_pts, axis=0), axis=1).mean()
+        random_hop = np.linalg.norm(
+            np.diff(pts[rng.permutation(2000)], axis=0), axis=1).mean()
+        assert hop < 0.5 * random_hop

@@ -1,0 +1,313 @@
+"""Tests for octree construction, aggregates, traversal and partitioning."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.octree.aggregate import (node_charges, node_counts,
+                                    node_histograms, node_sums,
+                                    pseudo_normals)
+from repro.octree.build import build_octree
+from repro.octree.mac import (born_mac_multiplier, epol_mac_multiplier,
+                              is_far)
+from repro.octree.partition import (imbalance, segment_by_weight,
+                                    segment_leaf_bounds, segment_leaves,
+                                    segment_points, segment_range)
+from repro.octree.transform import transformed_octree
+from repro.octree.traversal import (classify_against_ball, classify_reference,
+                                    dual_tree_pairs, expand_children)
+
+
+@pytest.fixture(scope="module")
+def tree():
+    rng = np.random.default_rng(5)
+    return build_octree(rng.uniform(-10, 10, size=(800, 3)), leaf_cap=16)
+
+
+class TestBuild:
+    def test_invariants(self, tree):
+        tree.validate()
+
+    def test_perm_is_permutation(self, tree):
+        assert sorted(tree.perm.tolist()) == list(range(tree.npoints))
+
+    def test_leaf_cap_respected(self, tree):
+        leaves = tree.leaves
+        counts = tree.point_end[leaves] - tree.point_start[leaves]
+        assert counts.max() <= 16
+
+    def test_leaves_tile_points(self, tree):
+        leaves = tree.leaves
+        counts = tree.point_end[leaves] - tree.point_start[leaves]
+        assert counts.sum() == tree.npoints
+
+    def test_single_point(self):
+        t = build_octree(np.array([[1.0, 2.0, 3.0]]))
+        assert t.nnodes == 1
+        assert t.is_leaf(0)
+
+    def test_coincident_points_terminate(self):
+        pts = np.zeros((100, 3))
+        t = build_octree(pts, leaf_cap=4)
+        assert t.nnodes >= 1  # no infinite recursion
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            build_octree(np.empty((0, 3)))
+
+    def test_bad_leaf_cap(self):
+        with pytest.raises(ValueError):
+            build_octree(np.zeros((3, 3)), leaf_cap=0)
+
+    @given(st.integers(min_value=1, max_value=300),
+           st.integers(min_value=1, max_value=64),
+           st.integers(min_value=0, max_value=2 ** 31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_property_invariants(self, n, cap, seed):
+        rng = np.random.default_rng(seed)
+        pts = rng.uniform(-5, 5, size=(n, 3))
+        t = build_octree(pts, leaf_cap=cap)
+        t.validate()
+        assert sorted(t.perm.tolist()) == list(range(n))
+
+    def test_children_bfs_order(self, tree):
+        # Parents are created before children (the push pass relies on it).
+        for v in range(1, tree.nnodes):
+            assert tree.parent[v] < v
+
+
+class TestAggregates:
+    def test_node_sums_match_brute_force(self, tree, rng):
+        values = rng.normal(size=tree.npoints)
+        sums = node_sums(tree, values)
+        for v in (0, 1, tree.nnodes // 2, tree.nnodes - 1):
+            pts = tree.node_points(v)
+            assert sums[v] == pytest.approx(values[pts].sum())
+
+    def test_node_sums_vector_valued(self, tree, rng):
+        values = rng.normal(size=(tree.npoints, 3))
+        sums = node_sums(tree, values)
+        np.testing.assert_allclose(sums[0], values.sum(axis=0))
+
+    def test_root_count(self, tree):
+        assert node_counts(tree)[0] == tree.npoints
+
+    def test_pseudo_normals_root(self, tree, rng):
+        normals = rng.normal(size=(tree.npoints, 3))
+        weights = rng.uniform(0.5, 2.0, size=tree.npoints)
+        agg = pseudo_normals(tree, normals, weights)
+        np.testing.assert_allclose(agg[0], (weights[:, None] * normals)
+                                   .sum(axis=0))
+
+    def test_node_charges(self, tree, rng):
+        q = rng.normal(size=tree.npoints)
+        assert node_charges(tree, q)[0] == pytest.approx(q.sum())
+
+    def test_histograms_match_bincount(self, tree, rng):
+        nbins = 7
+        bins = rng.integers(0, nbins, size=tree.npoints)
+        weights = rng.uniform(0, 1, size=tree.npoints)
+        hist = node_histograms(tree, bins, weights, nbins)
+        np.testing.assert_allclose(
+            hist[0], np.bincount(bins, weights=weights, minlength=nbins))
+        v = tree.leaves[0]
+        pts = tree.node_points(v)
+        np.testing.assert_allclose(
+            hist[v], np.bincount(bins[pts], weights=weights[pts],
+                                 minlength=nbins))
+
+    def test_histogram_validation(self, tree):
+        with pytest.raises(ValueError):
+            node_histograms(tree, np.zeros(tree.npoints, dtype=int),
+                            np.ones(tree.npoints), 0)
+        bad = np.full(tree.npoints, 5)
+        with pytest.raises(ValueError):
+            node_histograms(tree, bad, np.ones(tree.npoints), 3)
+
+
+class TestMAC:
+    def test_multipliers_decrease_with_eps(self):
+        assert born_mac_multiplier(0.1) > born_mac_multiplier(0.9)
+        assert epol_mac_multiplier(0.1) > epol_mac_multiplier(0.9)
+
+    def test_multipliers_exceed_one(self):
+        for eps in (0.05, 0.5, 0.9, 5.0):
+            assert born_mac_multiplier(eps) > 1.0
+            assert epol_mac_multiplier(eps) > 1.0
+
+    def test_born_multiplier_formula_theory(self):
+        eps = 0.9
+        kappa = 1.9 ** (1 / 6)
+        assert born_mac_multiplier(eps, variant="theory") == pytest.approx(
+            (kappa + 1) / (kappa - 1))
+
+    def test_born_multiplier_formula_practical(self):
+        # kappa = 1 + eps gives (2+eps)/eps -- the same functional form as
+        # the energy MAC's 1 + 2/eps.
+        assert born_mac_multiplier(0.9) == pytest.approx(2.9 / 0.9)
+        assert born_mac_multiplier(0.5) == pytest.approx(5.0)
+
+    def test_theory_stricter_than_practical(self):
+        for eps in (0.1, 0.5, 0.9):
+            assert born_mac_multiplier(eps, variant="theory") > \
+                born_mac_multiplier(eps, variant="practical")
+
+    def test_unknown_variant(self):
+        with pytest.raises(ValueError):
+            born_mac_multiplier(0.5, variant="magic")
+
+    def test_epol_multiplier_formula(self):
+        assert epol_mac_multiplier(0.5) == pytest.approx(5.0)
+
+    def test_is_far_vectorised(self):
+        d = np.array([10.0, 1.0])
+        far = is_far(d, np.array([1.0, 1.0]), np.array([1.0, 1.0]), 2.0)
+        assert far.tolist() == [True, False]
+
+    def test_invalid_eps(self):
+        with pytest.raises(ValueError):
+            born_mac_multiplier(0.0)
+        with pytest.raises(ValueError):
+            epol_mac_multiplier(-1.0)
+
+
+class TestTraversal:
+    def test_matches_reference(self, tree, rng):
+        for _ in range(10):
+            center = rng.uniform(-12, 12, size=3)
+            radius = float(rng.uniform(0.1, 3.0))
+            mult = float(rng.uniform(1.5, 20.0))
+            fast = classify_against_ball(tree, center, radius, mult)
+            ref = classify_reference(tree, center, radius, mult)
+            np.testing.assert_array_equal(np.sort(fast.far_nodes),
+                                          np.sort(ref.far_nodes))
+            np.testing.assert_array_equal(np.sort(fast.near_leaves),
+                                          np.sort(ref.near_leaves))
+            assert fast.nodes_visited == ref.nodes_visited
+
+    def test_partition_covers_each_point_once(self, tree, rng):
+        """Far nodes + near leaves cover every point exactly once -- the
+        additivity invariant behind the distributed algorithm."""
+        for _ in range(8):
+            center = rng.uniform(-12, 12, size=3)
+            cls = classify_against_ball(tree, center,
+                                        float(rng.uniform(0, 2)), 3.0)
+            covered = np.concatenate(
+                [tree.node_points(int(v)) for v in
+                 np.concatenate([cls.far_nodes, cls.near_leaves])])
+            assert sorted(covered.tolist()) == list(range(tree.npoints))
+
+    def test_inf_multiplier_disables_far(self, tree):
+        cls = classify_against_ball(tree, np.zeros(3), 1.0, np.inf)
+        assert cls.far_nodes.size == 0
+        np.testing.assert_array_equal(np.sort(cls.near_leaves),
+                                      np.sort(tree.leaves))
+
+    def test_expand_children_empty(self, tree):
+        assert expand_children(tree, np.empty(0, dtype=np.int64)).size == 0
+
+    def test_dual_tree_covers_all_pairs(self):
+        rng = np.random.default_rng(7)
+        a = build_octree(rng.uniform(0, 5, (60, 3)), leaf_cap=8)
+        b = build_octree(rng.uniform(3, 8, (50, 3)), leaf_cap=8)
+        far, near = dual_tree_pairs(a, b, multiplier=3.0)
+        covered = np.zeros((60, 50), dtype=int)
+        for va, vb in far + near:
+            pa = a.node_points(va)
+            pb = b.node_points(vb)
+            covered[np.ix_(pa, pb)] += 1
+        assert np.all(covered == 1)
+
+
+class TestPartition:
+    def test_segment_range_covers(self):
+        bounds = segment_range(10, 3)
+        assert bounds == [(0, 4), (4, 7), (7, 10)]
+
+    def test_segment_range_more_parts_than_items(self):
+        bounds = segment_range(2, 5)
+        assert bounds[0] == (0, 1)
+        assert bounds[-1] == (2, 2)
+
+    @given(st.integers(min_value=0, max_value=500),
+           st.integers(min_value=1, max_value=40))
+    @settings(max_examples=40, deadline=None)
+    def test_property_segment_range(self, n, p):
+        bounds = segment_range(n, p)
+        assert len(bounds) == p
+        assert bounds[0][0] == 0 and bounds[-1][1] == n
+        for (s1, e1), (s2, e2) in zip(bounds, bounds[1:]):
+            assert e1 == s2 and s1 <= e1
+        sizes = [e - s for s, e in bounds]
+        assert max(sizes) - min(sizes) <= 1
+
+    @given(st.lists(st.floats(min_value=0, max_value=100), min_size=1,
+                    max_size=200),
+           st.integers(min_value=1, max_value=16))
+    @settings(max_examples=40, deadline=None)
+    def test_property_segment_by_weight(self, weights, p):
+        bounds = segment_by_weight(np.asarray(weights), p)
+        assert len(bounds) == p
+        assert bounds[0][0] == 0 and bounds[-1][1] == len(weights)
+        for (s1, e1), (s2, e2) in zip(bounds, bounds[1:]):
+            assert e1 == s2
+
+    def test_segment_by_weight_balances(self):
+        w = np.ones(1000)
+        bounds = segment_by_weight(w, 10)
+        sizes = [e - s for s, e in bounds]
+        assert max(sizes) == 100
+
+    def test_segment_leaves_partition(self, tree):
+        parts = segment_leaves(tree, 5)
+        combined = np.concatenate(parts)
+        np.testing.assert_array_equal(combined, tree.leaves)
+
+    def test_segment_leaf_bounds_consistent(self, tree):
+        bounds = segment_leaf_bounds(tree, 4)
+        parts = segment_leaves(tree, 4)
+        for (s, e), part in zip(bounds, parts):
+            np.testing.assert_array_equal(tree.leaves[s:e], part)
+
+    def test_segment_points(self, tree):
+        parts = segment_points(tree, 7)
+        assert sum(len(p) for p in parts) == tree.npoints
+
+    def test_imbalance(self):
+        assert imbalance(np.array([1.0, 1.0, 1.0])) == pytest.approx(1.0)
+        assert imbalance(np.array([2.0, 0.0])) == pytest.approx(2.0)
+
+
+class TestTransform:
+    def test_rigid_transform_preserves_radii(self, tree, rng):
+        from repro.geometry import random_rotation
+        rot = random_rotation(rng)
+        moved = transformed_octree(tree, rotation=rot,
+                                   translation=np.array([5.0, -2.0, 1.0]))
+        np.testing.assert_array_equal(moved.ball_radius, tree.ball_radius)
+        np.testing.assert_array_equal(moved.perm, tree.perm)
+
+    def test_ball_centers_follow_points(self, tree, rng):
+        from repro.geometry import random_rotation
+        rot = random_rotation(rng)
+        moved = transformed_octree(tree, rotation=rot)
+        # Recomputed centroids of moved points match the transformed
+        # ball centres.
+        for v in (0, tree.nnodes - 1):
+            pts = moved.points[moved.node_points(v)]
+            np.testing.assert_allclose(moved.ball_center[v], pts.mean(axis=0),
+                                       atol=1e-9)
+
+    def test_translation_only(self, tree):
+        moved = transformed_octree(tree, translation=np.array([1.0, 0, 0]))
+        np.testing.assert_allclose(moved.points[:, 0] - tree.points[:, 0],
+                                   1.0)
+
+    def test_requires_some_transform(self, tree):
+        with pytest.raises(ValueError):
+            transformed_octree(tree)
+
+    def test_invalid_rotation(self, tree):
+        with pytest.raises(ValueError):
+            transformed_octree(tree, rotation=np.eye(3) * 3)

@@ -1,0 +1,62 @@
+"""Integration tests of the event traces with both simulated substrates."""
+
+import numpy as np
+
+from repro.parallel.cilk import simulate_work_stealing
+from repro.parallel.machine import RankLayout
+from repro.parallel.simmpi import SimMPI
+from repro.runtime.trace import Trace
+
+
+class TestCilkTracing:
+    def test_steals_are_traced(self, rng):
+        trace = Trace()
+        costs = rng.uniform(1e-6, 1e-4, 800)
+        result = simulate_work_stealing(costs, 6, seed=0, trace=trace)
+        assert trace.count("steal") == result.steals
+        assert trace.count("task_start") > 0
+
+    def test_steal_events_name_a_victim(self, rng):
+        trace = Trace()
+        costs = rng.uniform(1e-6, 1e-4, 800)
+        simulate_work_stealing(costs, 4, seed=1, trace=trace)
+        for event in trace.by_kind("steal"):
+            assert event.detail["victim"] != event.who
+
+    def test_events_time_ordered_per_worker(self, rng):
+        trace = Trace()
+        costs = rng.uniform(1e-6, 1e-4, 400)
+        simulate_work_stealing(costs, 3, seed=2, trace=trace)
+        per_worker: dict[int, float] = {}
+        for event in trace:
+            assert event.time >= per_worker.get(event.who, 0.0) - 1e-12
+            per_worker[event.who] = event.time
+
+
+class TestSimMPITracing:
+    def test_collectives_are_traced(self):
+        trace = Trace()
+        layout = RankLayout(nodes=1, ranks_per_node=3)
+
+        def prog(ctx):
+            yield ctx.allreduce(np.ones(4))
+            yield ctx.barrier()
+            return None
+
+        SimMPI(layout=layout, trace=trace).run(prog)
+        kinds = [e.detail["kind"] for e in trace.by_kind("collective")]
+        assert kinds == ["allreduce", "barrier"]
+
+    def test_trace_times_monotone(self):
+        trace = Trace()
+        layout = RankLayout(nodes=1, ranks_per_node=4)
+
+        def prog(ctx):
+            ctx.advance(0.001 * (ctx.rank + 1))
+            yield ctx.barrier()
+            yield ctx.barrier()
+            return None
+
+        SimMPI(layout=layout, trace=trace).run(prog)
+        times = [e.time for e in trace.by_kind("collective")]
+        assert times == sorted(times)
