@@ -1,0 +1,100 @@
+"""Measured self-relative speedup of the real process backend.
+
+Unlike every other file in ``benchmarks/`` -- which regenerates the
+paper's *modelled* tables -- this harness measures actual wall-clock time:
+the Fig. 4 pipeline on a generated ~5k-atom molecule for P in {1, 2, 4}
+real worker processes, written to ``benchmarks/results/
+BENCH_procpool.json``.  It is the repo's first real performance
+trajectory; future scaling PRs should keep the artifact format stable so
+runs remain comparable.
+
+Hard speedup assertions only fire when the machine actually has the cores
+(a 4-way pool on a 1-core CI runner measures scheduling, not scaling);
+correctness assertions always fire.
+
+Environment knobs: ``REPRO_BENCH_NATOMS`` overrides the molecule size,
+``REPRO_BENCH_REPEATS`` the per-P repetitions (best-of is recorded).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import numpy as np
+
+from repro.core.driver import PolarizationEnergyCalculator
+from repro.molecule.generators import protein_blob
+
+WORKER_COUNTS = (1, 2, 4)
+
+
+def _available_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def test_procpool_speedup(results_dir):
+    natoms = int(os.environ.get("REPRO_BENCH_NATOMS", "5000"))
+    repeats = int(os.environ.get("REPRO_BENCH_REPEATS", "2"))
+    cores = _available_cores()
+
+    calc = PolarizationEnergyCalculator(protein_blob(natoms, seed=1))
+    calc.prepare_surface()
+    serial = calc.run()
+
+    record = {
+        "molecule": calc.molecule.name,
+        "natoms": len(calc.molecule),
+        "nqpoints": calc.prepare_surface().npoints,
+        "cores_available": cores,
+        "repeats": repeats,
+        "serial_energy": serial.energy,
+        "timings": {},
+    }
+    walls: dict[int, float] = {}
+    for P in WORKER_COUNTS:
+        best = None
+        for _ in range(repeats):
+            res = calc.compute(backend="real", workers=P)
+            if best is None or res.wall_seconds < best.wall_seconds:
+                best = res
+        walls[P] = best.wall_seconds
+        record["timings"][str(P)] = {
+            "wall_seconds": best.wall_seconds,
+            "pipeline_seconds": best.pipeline_seconds,
+            "setup_seconds": best.setup_seconds,
+            "phase_seconds": best.phase_seconds,
+            "rank_seconds": best.rank_seconds,
+            "energy": best.energy,
+            "speedup_vs_p1": None,  # filled below
+        }
+        # Correctness is substrate-independent regardless of core count.
+        assert abs(best.energy - serial.energy) <= 1e-10 * abs(serial.energy)
+        np.testing.assert_allclose(best.born_radii, serial.born_radii,
+                                   rtol=1e-10)
+
+    for P in WORKER_COUNTS:
+        record["timings"][str(P)]["speedup_vs_p1"] = walls[1] / walls[P]
+    record["written_at"] = time.strftime("%Y-%m-%dT%H:%M:%S%z")
+
+    out = results_dir / "BENCH_procpool.json"
+    out.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    print()
+    print(f"procpool speedup ({natoms} atoms, {cores} cores): " + ", ".join(
+        f"P={P}: {walls[P]:.3f}s ({walls[1] / walls[P]:.2f}x)"
+        for P in WORKER_COUNTS))
+    print(f"wrote {out}")
+
+    # Scaling assertions need real cores under the pool.
+    if cores >= 4:
+        assert walls[1] / walls[4] > 1.5, (
+            f"expected >1.5x speedup at P=4 on {cores} cores, got "
+            f"{walls[1] / walls[4]:.2f}x")
+    if cores >= 2:
+        assert walls[1] / walls[2] > 1.1, (
+            f"expected >1.1x speedup at P=2 on {cores} cores, got "
+            f"{walls[1] / walls[2]:.2f}x")

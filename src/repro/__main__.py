@@ -1,4 +1,4 @@
-"""Command-line entry point: regenerate the paper's evaluation artifacts.
+"""Command-line entry point: evaluation artifacts and measured runs.
 
 Usage::
 
@@ -6,23 +6,121 @@ Usage::
     python -m repro run fig8             # regenerate one table/figure
     python -m repro run all              # everything, in paper order
     python -m repro run fig5 --full      # full (non-quick) molecule suite
+
+    python -m repro --backend real -P 4  # measured: E_pol of a generated
+                                         # molecule on 4 real processes,
+                                         # with speedup over -P 1 and a
+                                         # BENCH_procpool.json artifact
+    python -m repro --backend sim -P 4   # same pipeline on the simulated
+                                         # engine (modelled seconds)
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 import time
 
 
-def main(argv: list[str] | None = None) -> int:
-    from repro.experiments import all_ids, run_experiment
+def _run_backend(args: argparse.Namespace) -> int:
+    """Measured (or simulated) pipeline execution for a generated molecule."""
+    from repro.config import DEFAULT_SEED
+    from repro.core.driver import PolarizationEnergyCalculator
+    from repro.molecule.generators import protein_blob
 
+    seed = DEFAULT_SEED if args.seed is None else args.seed
+    molecule = protein_blob(args.natoms, seed=seed)
+    calc = PolarizationEnergyCalculator(molecule)
+    calc.prepare_surface()
+    worker_counts = sorted({1, args.workers})
+    record: dict = {
+        "backend": args.backend,
+        "molecule": molecule.name,
+        "natoms": len(molecule),
+        "nqpoints": calc.prepare_surface().npoints,
+        "seed": seed,
+        "cpu_count": os.cpu_count(),
+        "timings": {},
+    }
+
+    print(f"molecule: {molecule.name} ({len(molecule)} atoms, "
+          f"{record['nqpoints']} q-points), backend={args.backend}")
+    energies: dict[int, float] = {}
+    walls: dict[int, float] = {}
+    for P in worker_counts:
+        if args.backend == "real":
+            res = calc.compute(backend="real", workers=P)
+            walls[P] = res.wall_seconds
+            energies[P] = res.energy
+            record["timings"][str(P)] = {
+                "wall_seconds": res.wall_seconds,
+                "pipeline_seconds": res.pipeline_seconds,
+                "setup_seconds": res.setup_seconds,
+                "phase_seconds": res.phase_seconds,
+                "energy": res.energy,
+            }
+        else:
+            from repro.parallel.hybrid import run_parallel
+            from repro.parallel.machine import RankLayout
+            layout = RankLayout(nodes=1, ranks_per_node=P, threads_per_rank=1)
+            t0 = time.perf_counter()
+            sim = run_parallel(calc, layout, numerics="full")
+            walls[P] = sim.sim_seconds
+            energies[P] = sim.energy
+            record["timings"][str(P)] = {
+                "sim_seconds": sim.sim_seconds,
+                "host_seconds": time.perf_counter() - t0,
+                "phase_seconds": sim.phase_seconds,
+                "energy": sim.energy,
+            }
+        kind = "wall" if args.backend == "real" else "sim"
+        print(f"  P={P}: E_pol = {energies[P]:+.6f} kcal/mol, "
+              f"{kind} {walls[P]:.3f} s")
+
+    base = walls[worker_counts[0]]
+    if args.workers > 1 and base > 0:
+        speedup = base / walls[args.workers]
+        record["speedup_vs_p1"] = speedup
+        print(f"  speedup P={args.workers} vs P=1: {speedup:.2f}x "
+              f"({os.cpu_count()} cores visible)")
+
+    e1 = energies[worker_counts[0]]
+    drift = max(abs(energies[P] - e1) for P in worker_counts)
+    rel = drift / abs(e1) if e1 else drift
+    record["max_rel_energy_drift"] = rel
+    if rel > 1e-10:
+        print(f"ERROR: energies drift across worker counts "
+              f"(rel {rel:.3e} > 1e-10)")
+        return 1
+
+    out = args.bench_out
+    with open(out, "w") as fh:
+        json.dump(record, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {out}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate tables/figures from 'Polarization Energy "
-                    "on a Cluster of Multicores' (SC 2012).")
-    sub = parser.add_subparsers(dest="command", required=True)
+                    "on a Cluster of Multicores' (SC 2012), or run the "
+                    "pipeline on an execution backend.")
+    parser.add_argument("--backend", choices=("sim", "real"), default=None,
+                        help="run the E_pol pipeline on the simulated ('sim')"
+                             " or real process-parallel ('real') backend")
+    parser.add_argument("-P", "--workers", type=int, default=4,
+                        help="worker/rank count for --backend (default 4)")
+    parser.add_argument("--natoms", type=int, default=5000,
+                        help="generated molecule size for --backend runs")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="generator seed for --backend runs")
+    parser.add_argument("--bench-out", default="BENCH_procpool.json",
+                        help="artifact path for --backend timings")
+    sub = parser.add_subparsers(dest="command")
     sub.add_parser("list", help="list experiment ids")
     run_p = sub.add_parser("run", help="run one experiment (or 'all')")
     run_p.add_argument("experiment", help="experiment id, e.g. fig8, or 'all'")
@@ -32,6 +130,15 @@ def main(argv: list[str] | None = None) -> int:
     run_p.add_argument("--seed", type=int, default=None,
                        help="override the experiment seed")
     args = parser.parse_args(argv)
+
+    if args.command is None:
+        if args.backend is None:
+            parser.error("a command (list/run) or --backend is required")
+        if args.workers < 1:
+            parser.error("-P must be >= 1")
+        return _run_backend(args)
+
+    from repro.experiments import all_ids, run_experiment
 
     if args.command == "list":
         for eid in all_ids():

@@ -205,6 +205,81 @@ class PolarizationEnergyCalculator:
         )
 
     # ------------------------------------------------------------------
+    # execution backends
+    # ------------------------------------------------------------------
+    def compute(self, backend: str | object = "serial", *, workers: int = 1,
+                trace=None):
+        """Execute the pipeline on an execution backend, with wall-clock
+        phase timing.
+
+        Parameters
+        ----------
+        backend:
+            ``"serial"`` runs the rank program inline on
+            :class:`~repro.parallel.procpool.backend.SerialBackend` (bit
+            identical to :meth:`run`, but timed); ``"real"`` runs it across
+            ``workers`` OS processes with the molecule in shared memory
+            (:func:`repro.parallel.procpool.runner.run_real`).  Any object
+            satisfying the
+            :class:`~repro.parallel.procpool.backend.ExecutionBackend`
+            protocol is also accepted and driven inline as one rank of its
+            collective group.
+        workers:
+            Process count for the ``"real"`` backend.
+        trace:
+            Optional :class:`~repro.runtime.trace.Trace` receiving phase
+            and collective events.
+
+        Returns
+        -------
+        :class:`repro.parallel.procpool.runner.BackendRunResult`
+            with measured (not modelled) seconds.
+        """
+        import time as _time
+
+        from ..parallel.procpool.backend import SerialBackend
+        from ..parallel.procpool.runner import (BackendRunResult,
+                                                rank_program, run_real)
+        from ..runtime.trace import Trace
+
+        if backend == "real":
+            return run_real(self, workers, trace=trace)
+        if backend == "serial":
+            if workers != 1:
+                raise ValueError("the serial backend has exactly 1 worker")
+            backend = SerialBackend()
+        elif isinstance(backend, str):
+            raise ValueError(f"unknown backend {backend!r}")
+
+        trace = trace if trace is not None else Trace()
+        t0 = _time.perf_counter()
+        atoms = self.atom_tree()
+        quad = self.quad_tree()
+        setup_seconds = _time.perf_counter() - t0
+        t0 = _time.perf_counter()
+        report = rank_program(backend, atoms, quad, self.params,
+                              max_radius=2.0 * self.molecule.bounding_radius)
+        wall_seconds = _time.perf_counter() - t0
+        t = 0.0
+        for kind, detail in report.events:
+            if kind == "phase":
+                t += detail.get("seconds", 0.0)
+            trace.record(t, kind, report.rank, detail)
+        pair_sum = report.pair_sum  # type: ignore[attr-defined]
+        born_sorted = report.born_sorted  # type: ignore[attr-defined]
+        if pair_sum is None:
+            raise ValueError("compute() must be driven from the backend's "
+                             "root rank (reduce returned None)")
+        return BackendRunResult(
+            backend="serial", nworkers=backend.size, energy=epol_from_pair_sum(
+                pair_sum, epsilon_solvent=self.params.epsilon_solvent),
+            born_radii=atoms.to_original_order(born_sorted),
+            wall_seconds=wall_seconds, setup_seconds=setup_seconds,
+            phase_seconds=dict(report.phase_seconds),
+            rank_seconds=[report.span_seconds],
+            counters=report.counters.copy(), trace=trace)
+
+    # ------------------------------------------------------------------
     # validation
     # ------------------------------------------------------------------
     def compare_with_naive(self) -> dict[str, float]:

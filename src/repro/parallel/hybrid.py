@@ -109,6 +109,9 @@ class ParallelRunResult:
     node_bytes: int
     steals: int
     oom: bool = False
+    #: Measured wall-clock seconds when the run executed on the real
+    #: process backend (``engine="real"``); NaN for simulated runs.
+    wall_seconds: float = float("nan")
 
     @property
     def total_cores(self) -> int:
@@ -204,12 +207,37 @@ def _prepare(calc: PolarizationEnergyCalculator, layout: RankLayout,
 
 def run_parallel(calc: PolarizationEnergyCalculator, layout: RankLayout,
                  config: ParallelRunConfig | None = None, *,
-                 numerics: str = "cached") -> ParallelRunResult:
+                 numerics: str = "cached",
+                 engine: str = "sim") -> ParallelRunResult:
     """Run OCT_MPI (``threads_per_rank == 1``) or OCT_MPI+CILK (> 1) on the
-    simulated cluster, following Fig. 4 step by step."""
+    simulated cluster, following Fig. 4 step by step.
+
+    ``engine="real"`` executes the same rank program on
+    :mod:`repro.parallel.procpool` -- ``layout.nranks`` actual OS processes
+    on this machine -- and reports *measured* wall-clock seconds in both
+    ``sim_seconds`` and ``wall_seconds``.  Threads-per-rank is not
+    meaningful there (one process per rank), and modelled quantities
+    (comm stats, steals, jitter) are absent.
+    """
     if numerics not in ("cached", "full"):
         raise ValueError("numerics must be 'cached' or 'full'")
+    if engine not in ("sim", "real"):
+        raise ValueError("engine must be 'sim' or 'real'")
     config = config or ParallelRunConfig()
+    if engine == "real":
+        if layout.threads_per_rank != 1:
+            raise ValueError("engine='real' runs one process per rank; use "
+                             "threads_per_rank=1 layouts")
+        res = calc.compute(backend="real", workers=layout.nranks)
+        data_bytes = _data_bytes(calc)
+        return ParallelRunResult(
+            variant="OCT_PROC", layout=layout, energy=res.energy,
+            born_radii=res.born_radii, sim_seconds=res.wall_seconds,
+            phase_seconds=dict(res.phase_seconds), counters=res.counters,
+            comm=None, data_bytes=data_bytes,
+            node_bytes=config.memory_model.node_bytes(
+                data_bytes, layout.ranks_per_node),
+            steals=0, wall_seconds=res.wall_seconds)
     atoms = calc.atom_tree()
     quad = calc.quad_tree()
     params = calc.params

@@ -1,0 +1,25 @@
+"""Real shared-memory process-parallel execution backend.
+
+Where :mod:`repro.parallel.simmpi` *models* the paper's cluster, this
+package *measures*: the same Fig. 4 rank program runs across actual OS
+processes with the molecule published once in POSIX shared memory and
+collectives built from process-safe primitives.  See
+``docs/ALGORITHMS.md`` ("Simulated vs. real execution") for when each
+substrate is authoritative.
+"""
+
+from .backend import ExecutionBackend, ProcessBackend, SerialBackend
+from .runner import (BackendRunResult, RankReport, rank_program, run_real)
+from .shm import ScratchBuffer, SharedArrayBundle
+
+__all__ = [
+    "BackendRunResult",
+    "ExecutionBackend",
+    "ProcessBackend",
+    "RankReport",
+    "ScratchBuffer",
+    "SerialBackend",
+    "SharedArrayBundle",
+    "rank_program",
+    "run_real",
+]

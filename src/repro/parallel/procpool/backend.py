@@ -1,0 +1,151 @@
+"""Execution backends: the collective interface rank programs run against.
+
+:class:`ExecutionBackend` is the protocol shared by every substrate the
+pipeline can execute on:
+
+* :class:`SerialBackend` -- the degenerate single-rank backend; collectives
+  are identities.  Running the rank program on it reproduces the serial
+  driver bit for bit.
+* :class:`ProcessBackend` -- real OS processes on one node; collectives go
+  through a shared-memory scratch buffer ordered by a
+  ``multiprocessing.Barrier``.
+* the simulated engine (:mod:`repro.parallel.simmpi`) implements the same
+  operations with modelled time; :mod:`repro.parallel.hybrid` bridges it.
+
+Reduction-order contract
+------------------------
+Floating-point reduction is not associative, so *reduction order is part of
+the backend contract*.  Every backend must combine per-rank payloads the
+way :func:`repro.parallel.simmpi.collectives.reduce_values` does: arrays
+via ``np.stack([...rank order...]).sum(axis=0)``, scalars via builtin
+``sum`` in rank order.  That is what makes energies agree across substrates
+to the last bit rather than merely to rounding noise, and what keeps a
+backend deterministic run-to-run regardless of OS scheduling.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from .shm import ScratchBuffer
+
+
+@runtime_checkable
+class ExecutionBackend(Protocol):
+    """What a rank program may ask of its substrate."""
+
+    rank: int
+    size: int
+
+    def allreduce(self, arr: np.ndarray) -> np.ndarray:
+        """Elementwise sum of every rank's array; all ranks get the result."""
+        ...
+
+    def allgather(self, arr: np.ndarray) -> list[np.ndarray]:
+        """Every rank's array, as a list in rank order, on all ranks."""
+        ...
+
+    def reduce(self, value: float, *, root: int = 0) -> float | None:
+        """Sum of every rank's scalar on ``root`` (None elsewhere)."""
+        ...
+
+    def barrier(self) -> None:
+        """Block until every rank arrives."""
+        ...
+
+
+class SerialBackend:
+    """The one-rank backend: collectives over a single participant.
+
+    The degenerate collectives are written exactly like the multi-rank
+    ones (stack-and-sum over one slot, builtin ``sum`` over one value) so
+    the single-worker real backend and the serial driver stay bit-identical
+    by construction rather than by accident.
+    """
+
+    rank = 0
+    size = 1
+
+    def allreduce(self, arr: np.ndarray) -> np.ndarray:
+        return np.stack([np.asarray(arr, dtype=np.float64)]).sum(axis=0)
+
+    def allgather(self, arr: np.ndarray) -> list[np.ndarray]:
+        return [np.asarray(arr, dtype=np.float64)]
+
+    def reduce(self, value: float, *, root: int = 0) -> float | None:
+        return sum([float(value)]) if root == 0 else None
+
+    def barrier(self) -> None:
+        pass
+
+
+class ProcessBackend:
+    """Collectives across real processes via shared memory + a barrier.
+
+    Each collective is two barrier phases: every rank writes its payload
+    into its own scratch slot and waits (*publish*), then every rank reads
+    all slots, combines them in rank order, and waits again (*drain*) so
+    the slots may be reused.  Reads and writes never race: the publish
+    barrier orders writes before reads, the drain barrier orders reads
+    before the next round's writes.
+
+    The combine step runs redundantly on every rank (an ``allreduce`` does
+    P small sums instead of log P rounds); for the payload sizes of this
+    pipeline -- one float per tree node/atom -- latency is barrier-bound
+    and the redundancy is free, while keeping the reduction order identical
+    on every rank.
+    """
+
+    def __init__(self, rank: int, size: int, barrier,
+                 scratch: ScratchBuffer) -> None:
+        if scratch.size != size:
+            raise ValueError("scratch buffer sized for a different pool")
+        self.rank = rank
+        self.size = size
+        self._barrier = barrier
+        self._scratch = scratch
+
+    # -- internals -----------------------------------------------------
+    def _publish(self, arr: np.ndarray) -> None:
+        a = np.ascontiguousarray(arr, dtype=np.float64).ravel()
+        if a.size > self._scratch.slot_floats:
+            raise ValueError(
+                f"payload of {a.size} floats exceeds scratch slot "
+                f"({self._scratch.slot_floats})")
+        self._scratch.lengths[self.rank] = a.size
+        self._scratch.slots[self.rank, :a.size] = a
+        self._barrier.wait()
+
+    def _drain(self) -> None:
+        self._barrier.wait()
+
+    # -- collectives ---------------------------------------------------
+    def allreduce(self, arr: np.ndarray) -> np.ndarray:
+        self._publish(arr)
+        n = int(self._scratch.lengths[0])
+        out = np.stack([self._scratch.slots[r, :n]
+                        for r in range(self.size)]).sum(axis=0)
+        self._drain()
+        return out.reshape(np.asarray(arr).shape)
+
+    def allgather(self, arr: np.ndarray) -> list[np.ndarray]:
+        self._publish(arr)
+        sizes = [int(self._scratch.lengths[r]) for r in range(self.size)]
+        out = [self._scratch.slots[r, :sizes[r]].copy()
+               for r in range(self.size)]
+        self._drain()
+        return out
+
+    def reduce(self, value: float, *, root: int = 0) -> float | None:
+        self._publish(np.array([float(value)]))
+        result = None
+        if self.rank == root:
+            result = sum(float(self._scratch.slots[r, 0])
+                         for r in range(self.size))
+        self._drain()
+        return result
+
+    def barrier(self) -> None:
+        self._barrier.wait()

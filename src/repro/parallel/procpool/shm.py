@@ -1,0 +1,151 @@
+"""Shared-memory array plumbing for the process-parallel backend.
+
+The paper's design replicates *data* and divides *work*: every process
+holds the full molecule and surface.  On one shared-memory node we can do
+better than P pickled copies -- the parent publishes each array once into a
+POSIX shared-memory block and every worker maps views into the same pages.
+Nothing molecule-sized ever crosses a pipe.
+
+:class:`SharedArrayBundle` packs a named dict of float64 arrays into one
+block; its :attr:`layout` (name -> offset/shape) is the only thing pickled
+to workers.  :class:`ScratchBuffer` is the collective-exchange area used by
+:class:`~repro.parallel.procpool.backend.ProcessBackend`: one header slot
+and one payload slot per rank.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+
+import numpy as np
+
+
+def _keep_mapped(shm: shared_memory.SharedMemory) -> None:
+    """Leave an attached segment mapped for the life of this process.
+
+    A worker hands NumPy views of the buffer to long-lived objects
+    (molecule arrays, reports), so ``close()`` -- including the one
+    ``__del__`` runs at interpreter shutdown -- would raise
+    ``BufferError: cannot close exported pointers exist``.  The OS reclaims
+    the mapping at process death regardless, so the exit path simply
+    disarms ``close`` instead of chasing every exported view.
+
+    The resource tracker needs no such treatment: worker attaches re-add
+    the segment name to the tracker's (set-valued) cache and the parent's
+    ``unlink`` removes it exactly once.
+    """
+    shm.close = lambda: None  # type: ignore[method-assign]
+
+
+@dataclass(frozen=True)
+class _ArraySpec:
+    offset: int
+    shape: tuple[int, ...]
+
+
+class SharedArrayBundle:
+    """A dict of float64 arrays living in one shared-memory block."""
+
+    def __init__(self, shm: shared_memory.SharedMemory,
+                 layout: dict[str, _ArraySpec], *, owner: bool) -> None:
+        self._shm = shm
+        self.layout = layout
+        self._owner = owner
+
+    # -- lifecycle -----------------------------------------------------
+    @classmethod
+    def create(cls, arrays: dict[str, np.ndarray]) -> "SharedArrayBundle":
+        """Publish ``arrays`` (copied once) into a new shared block."""
+        layout: dict[str, _ArraySpec] = {}
+        offset = 0
+        prepared: dict[str, np.ndarray] = {}
+        for key, arr in arrays.items():
+            a = np.ascontiguousarray(arr, dtype=np.float64)
+            layout[key] = _ArraySpec(offset=offset, shape=a.shape)
+            prepared[key] = a
+            offset += a.nbytes
+        shm = shared_memory.SharedMemory(create=True, size=max(offset, 1))
+        bundle = cls(shm, layout, owner=True)
+        for key, a in prepared.items():
+            bundle.view(key)[...] = a
+        return bundle
+
+    @classmethod
+    def attach(cls, name: str,
+               layout: dict[str, _ArraySpec]) -> "SharedArrayBundle":
+        """Map an existing block (worker side)."""
+        shm = shared_memory.SharedMemory(name=name)
+        _keep_mapped(shm)
+        return cls(shm, layout, owner=False)
+
+    @property
+    def name(self) -> str:
+        return self._shm.name
+
+    def view(self, key: str) -> np.ndarray:
+        """Zero-copy float64 view of one array in the block."""
+        spec = self.layout[key]
+        count = int(np.prod(spec.shape, dtype=np.int64)) if spec.shape else 1
+        flat = np.frombuffer(self._shm.buf, dtype=np.float64,
+                             count=count, offset=spec.offset)
+        return flat.reshape(spec.shape)
+
+    def close(self) -> None:
+        self._shm.close()
+
+    def unlink(self) -> None:
+        if self._owner:
+            self._shm.unlink()
+
+
+class ScratchBuffer:
+    """Per-rank exchange slots backing the collectives.
+
+    Layout: ``int64[size]`` header (per-rank payload lengths) followed by
+    ``float64[size, slot_floats]`` payload slots.  Ranks only ever write
+    their own slot; barriers order the writes against the reads.
+    """
+
+    HEADER_ITEM = 8  # one int64 per rank
+
+    def __init__(self, shm: shared_memory.SharedMemory, size: int,
+                 slot_floats: int, *, owner: bool) -> None:
+        self._shm = shm
+        self.size = size
+        self.slot_floats = slot_floats
+        self._owner = owner
+        header_bytes = self.HEADER_ITEM * size
+        self.lengths = np.frombuffer(shm.buf, dtype=np.int64, count=size)
+        self.slots = np.frombuffer(
+            shm.buf, dtype=np.float64, count=size * slot_floats,
+            offset=header_bytes).reshape(size, slot_floats)
+
+    @classmethod
+    def create(cls, size: int, slot_floats: int) -> "ScratchBuffer":
+        slot_floats = max(int(slot_floats), 1)
+        nbytes = cls.HEADER_ITEM * size + 8 * size * slot_floats
+        shm = shared_memory.SharedMemory(create=True, size=nbytes)
+        buf = cls(shm, size, slot_floats, owner=True)
+        buf.lengths[:] = 0
+        return buf
+
+    @classmethod
+    def attach(cls, name: str, size: int, slot_floats: int) -> "ScratchBuffer":
+        shm = shared_memory.SharedMemory(name=name)
+        _keep_mapped(shm)
+        return cls(shm, size, max(int(slot_floats), 1), owner=False)
+
+    @property
+    def name(self) -> str:
+        return self._shm.name
+
+    def close(self) -> None:
+        # Views into the buffer must be dropped before closing the mmap.
+        self.lengths = None  # type: ignore[assignment]
+        self.slots = None  # type: ignore[assignment]
+        self._shm.close()
+
+    def unlink(self) -> None:
+        if self._owner:
+            self._shm.unlink()

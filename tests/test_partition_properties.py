@@ -1,0 +1,135 @@
+"""Property tests for the work-partition primitives.
+
+``test_datadist.py`` exercises these at a handful of fixed sizes; the
+parallel runners, however, feed them *arbitrary* (leaf count, rank count)
+pairs -- including more ranks than leaves, where an empty-segment bug
+would strand a worker in a collective.  Hypothesis drives the primitives
+across that whole space and checks the contract every caller relies on:
+segments form a disjoint, exhaustive, ordered cover.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.octree.build import build_octree
+from repro.octree.partition import (segment_by_weight, segment_leaf_bounds,
+                                    segment_leaves, segment_range)
+
+
+def _assert_cover(bounds: list[tuple[int, int]], n: int, nparts: int) -> None:
+    """The shared contract: ``nparts`` contiguous segments tiling [0, n)."""
+    assert len(bounds) == nparts
+    cursor = 0
+    for start, end in bounds:
+        assert start == cursor, "segments must be contiguous and ordered"
+        assert end >= start, "segments must be non-negative"
+        cursor = end
+    assert cursor == n, "segments must cover every item exactly once"
+
+
+class TestSegmentRange:
+    @given(n=st.integers(min_value=0, max_value=10_000),
+           nparts=st.integers(min_value=1, max_value=64))
+    @settings(max_examples=200, deadline=None)
+    def test_disjoint_exhaustive_cover(self, n, nparts):
+        bounds = segment_range(n, nparts)
+        _assert_cover(bounds, n, nparts)
+
+    @given(n=st.integers(min_value=0, max_value=10_000),
+           nparts=st.integers(min_value=1, max_value=64))
+    @settings(max_examples=200, deadline=None)
+    def test_sizes_balanced_within_one(self, n, nparts):
+        sizes = [e - s for s, e in segment_range(n, nparts)]
+        assert max(sizes) - min(sizes) <= 1
+
+    @given(nparts=st.integers(min_value=1, max_value=64))
+    @settings(max_examples=50, deadline=None)
+    def test_more_parts_than_items(self, nparts):
+        """P > n yields empty trailing segments, never a crash."""
+        n = max(nparts - 1, 0)
+        bounds = segment_range(n, nparts)
+        _assert_cover(bounds, n, nparts)
+        assert sum(1 for s, e in bounds if e == s) == nparts - n
+
+
+class TestSegmentByWeight:
+    @given(weights=st.lists(st.floats(min_value=0.0, max_value=1e6,
+                                      allow_nan=False),
+                            min_size=0, max_size=200),
+           nparts=st.integers(min_value=1, max_value=32))
+    @settings(max_examples=200, deadline=None)
+    def test_disjoint_exhaustive_cover(self, weights, nparts):
+        w = np.asarray(weights, dtype=np.float64)
+        bounds = segment_by_weight(w, nparts)
+        _assert_cover(bounds, len(w), nparts)
+
+    @given(weights=st.lists(st.floats(min_value=1e-3, max_value=1e3,
+                                      allow_nan=False),
+                            min_size=1, max_size=200),
+           nparts=st.integers(min_value=1, max_value=32))
+    @settings(max_examples=100, deadline=None)
+    def test_segment_weight_bounded_by_ideal_plus_one_item(self, weights,
+                                                          nparts):
+        """Greedy prefix cuts overshoot the ideal per-part weight by at
+        most one item: weight(segment) <= total/nparts + max(w)."""
+        w = np.asarray(weights, dtype=np.float64)
+        bounds = segment_by_weight(w, nparts)
+        total = float(w.sum())
+        wmax = float(w.max())
+        slack = total / nparts + wmax + 1e-9 * max(total, 1.0)
+        for start, end in bounds:
+            assert float(w[start:end].sum()) <= slack
+
+
+class TestSegmentLeafBounds:
+    @st.composite
+    def _tree_and_parts(draw):
+        n = draw(st.integers(min_value=1, max_value=120))
+        leaf_cap = draw(st.integers(min_value=1, max_value=16))
+        seed = draw(st.integers(min_value=0, max_value=2 ** 16))
+        rng = np.random.default_rng(seed)
+        points = rng.uniform(-10.0, 10.0, size=(n, 3))
+        tree = build_octree(points, leaf_cap=leaf_cap)
+        # Deliberately include nparts far beyond the leaf count.
+        nparts = draw(st.integers(min_value=1,
+                                  max_value=2 * len(tree.leaves) + 5))
+        return tree, nparts
+
+    @given(tp=_tree_and_parts())
+    @settings(max_examples=60, deadline=None)
+    def test_points_balance_covers_all_leaves(self, tp):
+        tree, nparts = tp
+        bounds = segment_leaf_bounds(tree, nparts, balance="points")
+        _assert_cover(bounds, len(tree.leaves), nparts)
+
+    @given(tp=_tree_and_parts())
+    @settings(max_examples=60, deadline=None)
+    def test_count_balance_covers_all_leaves(self, tp):
+        tree, nparts = tp
+        bounds = segment_leaf_bounds(tree, nparts, balance="count")
+        _assert_cover(bounds, len(tree.leaves), nparts)
+
+    @given(tp=_tree_and_parts())
+    @settings(max_examples=40, deadline=None)
+    def test_segment_leaves_concatenate_to_leaf_list(self, tp):
+        """The leaf-id segments reassemble the full leaf list in order --
+        every leaf is owned by exactly one rank."""
+        tree, nparts = tp
+        parts = segment_leaves(tree, nparts, balance="points")
+        assert len(parts) == nparts
+        recombined = np.concatenate([p for p in parts]) if parts else []
+        np.testing.assert_array_equal(recombined, tree.leaves)
+
+    @given(tp=_tree_and_parts())
+    @settings(max_examples=40, deadline=None)
+    def test_every_point_owned_once(self, tp):
+        """Under point-balanced division the per-rank point counts sum to
+        the tree's point count (what makes Born partials exactly additive)."""
+        tree, nparts = tp
+        owned = 0
+        for seg in segment_leaves(tree, nparts, balance="points"):
+            owned += int((tree.point_end[seg] - tree.point_start[seg]).sum())
+        assert owned == tree.npoints

@@ -1,0 +1,174 @@
+"""Differential tests: real process backend vs. serial driver vs. simmpi.
+
+The simulated engine's docstring promises that node-based work division
+makes numeric results independent of the substrate executing them.  These
+tests enforce that promise end to end across all three substrates:
+
+* P=1 real backend == serial driver, bit for bit;
+* P in {2, 4} real backend == serial, to <= 1e-10 relative;
+* real backend == simulated ``numerics="full"`` hybrid run at equal rank
+  counts (the cross-substrate equivalence property);
+* two real runs with identical inputs are identical, including the number
+  of trace events (reduction-order determinism).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.driver import PolarizationEnergyCalculator
+from repro.molecule.generators import protein_blob
+from repro.parallel.hybrid import run_parallel
+from repro.parallel.machine import RankLayout
+from repro.parallel.procpool import SerialBackend, rank_program
+from repro.runtime.trace import Trace
+
+
+def _flat_layout(nranks: int) -> RankLayout:
+    return RankLayout(nodes=1, ranks_per_node=nranks, threads_per_rank=1)
+
+
+@pytest.fixture(scope="module")
+def seeded_calcs():
+    """Two seeded molecules with their serial reference results."""
+    out = []
+    for natoms, seed in ((150, 21), (420, 22)):
+        calc = PolarizationEnergyCalculator(protein_blob(natoms, seed=seed))
+        out.append((calc, calc.run()))
+    return out
+
+
+class TestSerialBackendEquivalence:
+    def test_serial_backend_bit_identical_to_run(self, seeded_calcs):
+        for calc, ref in seeded_calcs:
+            res = calc.compute(backend="serial")
+            assert res.energy == ref.energy
+            assert np.array_equal(res.born_radii, ref.born_radii)
+
+    def test_serial_backend_counters_match_run(self, seeded_calcs):
+        calc, ref = seeded_calcs[0]
+        res = calc.compute(backend="serial")
+        expected = ref.born_counters.copy()
+        expected.add(ref.energy_counters)
+        assert res.counters.exact_pairs == expected.exact_pairs
+        assert res.counters.far_evals == expected.far_evals
+
+    def test_rank_program_on_explicit_backend(self, seeded_calcs):
+        calc, ref = seeded_calcs[0]
+        report = rank_program(SerialBackend(), calc.atom_tree(),
+                              calc.quad_tree(), calc.params,
+                              max_radius=2.0 * calc.molecule.bounding_radius)
+        assert report.rank == 0
+        assert set(report.phase_seconds) == {
+            "born_compute", "born_comm", "push", "radii_comm",
+            "energy_compute", "energy_comm"}
+
+    def test_unknown_backend_rejected(self, seeded_calcs):
+        calc, _ = seeded_calcs[0]
+        with pytest.raises(ValueError, match="unknown backend"):
+            calc.compute(backend="quantum")
+        with pytest.raises(ValueError, match="exactly 1 worker"):
+            calc.compute(backend="serial", workers=2)
+
+
+class TestRealBackendDifferential:
+    def test_p1_bit_identical_to_serial_driver(self, seeded_calcs):
+        for calc, ref in seeded_calcs:
+            res = calc.compute(backend="real", workers=1)
+            assert res.energy == ref.energy
+            assert np.array_equal(res.born_radii, ref.born_radii)
+
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_multiworker_matches_serial(self, seeded_calcs, workers):
+        for calc, ref in seeded_calcs:
+            res = calc.compute(backend="real", workers=workers)
+            assert res.energy == pytest.approx(ref.energy, rel=1e-10)
+            np.testing.assert_allclose(res.born_radii, ref.born_radii,
+                                       rtol=1e-10)
+
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_matches_simulated_full_numerics(self, seeded_calcs, workers):
+        calc, _ = seeded_calcs[0]
+        real = calc.compute(backend="real", workers=workers)
+        sim = run_parallel(calc, _flat_layout(workers), numerics="full")
+        assert real.energy == pytest.approx(sim.energy, rel=1e-10)
+        np.testing.assert_allclose(real.born_radii, sim.born_radii,
+                                   rtol=1e-10)
+
+    def test_more_workers_than_leaves(self):
+        """Empty rank segments (P > leaves) must idle, not crash."""
+        calc = PolarizationEnergyCalculator(protein_blob(12, seed=5))
+        ref = calc.run()
+        res = calc.compute(backend="real", workers=5)
+        assert res.energy == pytest.approx(ref.energy, rel=1e-10)
+
+    def test_counters_merge_to_serial_totals(self, seeded_calcs):
+        """Node-based division partitions the work exactly: per-rank
+        counters must add up to the serial totals."""
+        calc, ref = seeded_calcs[0]
+        res = calc.compute(backend="real", workers=3)
+        expected = ref.born_counters.copy()
+        expected.add(ref.energy_counters)
+        assert res.counters.exact_pairs == expected.exact_pairs
+        assert res.counters.far_evals == expected.far_evals
+        assert res.counters.hist_pairs == expected.hist_pairs
+
+
+class TestHybridRealEngine:
+    def test_engine_real_roundtrip(self, seeded_calcs):
+        calc, ref = seeded_calcs[0]
+        res = run_parallel(calc, _flat_layout(2), engine="real")
+        assert res.variant == "OCT_PROC"
+        assert res.energy == pytest.approx(ref.energy, rel=1e-10)
+        assert res.wall_seconds > 0
+        assert res.sim_seconds == res.wall_seconds
+        assert res.comm is None and res.steals == 0
+
+    def test_engine_real_rejects_threaded_layouts(self, seeded_calcs):
+        calc, _ = seeded_calcs[0]
+        with pytest.raises(ValueError, match="one process per rank"):
+            run_parallel(calc, RankLayout(nodes=1, ranks_per_node=1,
+                                          threads_per_rank=2), engine="real")
+
+    def test_unknown_engine_rejected(self, seeded_calcs):
+        calc, _ = seeded_calcs[0]
+        with pytest.raises(ValueError, match="engine"):
+            run_parallel(calc, _flat_layout(2), engine="mpi")
+
+
+class TestDeterminism:
+    def test_identical_runs_identical_results_and_trace(self, seeded_calcs):
+        """Same seed, same worker count -> identical energy, radii and
+        trace event counts (guards reduction-order nondeterminism)."""
+        calc, _ = seeded_calcs[1]
+        a = calc.compute(backend="real", workers=2, trace=Trace())
+        b = calc.compute(backend="real", workers=2, trace=Trace())
+        assert a.energy == b.energy
+        assert np.array_equal(a.born_radii, b.born_radii)
+        assert len(a.trace) == len(b.trace)
+        kinds_a = sorted(e.kind for e in a.trace)
+        kinds_b = sorted(e.kind for e in b.trace)
+        assert kinds_a == kinds_b
+
+    def test_trace_structure(self, seeded_calcs):
+        calc, _ = seeded_calcs[0]
+        trace = Trace()
+        res = calc.compute(backend="real", workers=3, trace=trace)
+        assert res.trace is trace
+        # 6 phases + 3 collectives per rank, plus one pool summary event.
+        assert trace.count("phase") == 6 * 3
+        assert trace.count("collective") == 3 * 3
+        assert trace.count("pool") == 1
+        phases = {e.detail["phase"] for e in trace.by_kind("phase")}
+        assert phases == {"born_compute", "born_comm", "push", "radii_comm",
+                          "energy_compute", "energy_comm"}
+
+    def test_timing_fields_populated(self, seeded_calcs):
+        calc, _ = seeded_calcs[0]
+        res = calc.compute(backend="real", workers=2)
+        assert res.wall_seconds > 0
+        assert res.pipeline_seconds > 0
+        assert res.pipeline_seconds <= res.wall_seconds
+        assert len(res.rank_seconds) == 2
+        assert all(s > 0 for s in res.rank_seconds)
