@@ -1,0 +1,56 @@
+"""Determinism & race analysis suite.
+
+The repo's headline guarantee -- serial, simulated-MPI and real
+process-pool backends produce bit-compatible energies -- rests on three
+conventions:
+
+1. every cross-rank reduction uses the fixed rank-order sums of
+   :func:`repro.parallel.simmpi.collectives.reduce_values`;
+2. every shared-memory segment has a single writer rank between barriers;
+3. every rank issues the identical collective sequence.
+
+This package makes those conventions *executable*:
+
+* :mod:`.linter` / :mod:`.rules` -- ``repro-lint``, an AST pass with
+  repo-specific rules (REP001..REP005), driven by ``python -m repro.lint``;
+* :mod:`.races` -- an opt-in shadow-tracking write-intent recorder for
+  :class:`~repro.parallel.procpool.shm.SharedArrayBundle` /
+  :class:`~repro.parallel.procpool.shm.ScratchBuffer` that reports
+  overlapping same-epoch writes from different ranks;
+* :mod:`.ordering` -- a collective-ordering verifier that diffs each
+  rank's collective call sequence at run end;
+* :mod:`.checks` -- the ``REPRO_CHECKS=1`` gate and the combined
+  :class:`~.checks.DeterminismReport`.
+
+See ``docs/ANALYSIS.md`` for the rule catalogue and the epoch model.
+"""
+
+from .checks import (DeterminismReport, ReproCheckError, checks_enabled)
+from .linter import Finding, lint_file, lint_paths, lint_source
+from .ordering import (CollectiveLog, CollectiveRecord, OrderingReport,
+                       diff_collective_logs)
+from .races import (RaceFinding, TrackedArray, WriteIntent,
+                    WriteIntentTracker, find_races, tracked_view)
+from .rules import RULES, Rule
+
+__all__ = [
+    "CollectiveLog",
+    "CollectiveRecord",
+    "DeterminismReport",
+    "Finding",
+    "OrderingReport",
+    "RULES",
+    "RaceFinding",
+    "ReproCheckError",
+    "Rule",
+    "TrackedArray",
+    "WriteIntent",
+    "WriteIntentTracker",
+    "checks_enabled",
+    "diff_collective_logs",
+    "find_races",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "tracked_view",
+]

@@ -1,0 +1,72 @@
+"""Command-line front end for ``repro-lint``.
+
+Invoked as ``python -m repro.lint [paths...]``.  Exit status: 0 when no
+finding survives suppression, 1 otherwise, 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from .linter import lint_paths
+from .rules import RULES
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description=("repro-lint: repo-specific determinism rules "
+                     "(REP001..REP005) over Python sources."))
+    parser.add_argument("paths", nargs="*", default=["src"],
+                        help="files or directories to lint (default: src)")
+    parser.add_argument("--format", choices=("text", "json"),
+                        default="text", help="output format")
+    parser.add_argument("--rules", default=None, metavar="REPxxx[,REPxxx]",
+                        help="run only the named rules")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalogue and exit")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+
+    if args.list_rules:
+        for rule in RULES.values():
+            scope = ("all files except roles "
+                     if rule.invert_roles else "roles ")
+            print(f"{rule.id}  {rule.title}")
+            print(f"        scope: {scope}{', '.join(sorted(rule.roles))}")
+            print(f"        hint:  {rule.hint}")
+        return 0
+
+    only = None
+    if args.rules:
+        only = frozenset(r.strip().upper() for r in args.rules.split(",")
+                         if r.strip())
+        unknown = only - set(RULES)
+        if unknown:
+            print(f"unknown rule(s): {', '.join(sorted(unknown))}",
+                  file=sys.stderr)
+            return 2
+
+    findings = lint_paths(list(args.paths), only_rules=only)
+
+    if args.format == "json":
+        print(json.dumps({
+            "findings": [f.to_dict() for f in findings],
+            "count": len(findings),
+        }, indent=2))
+    else:
+        for f in findings:
+            print(f.format())
+        n = len(findings)
+        print(f"repro-lint: {n} finding{'s' if n != 1 else ''}"
+              if n else "repro-lint: clean")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

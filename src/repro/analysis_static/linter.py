@@ -1,0 +1,314 @@
+"""The ``repro-lint`` AST engine (stdlib :mod:`ast`, no dependencies).
+
+:func:`lint_source` runs every applicable rule over one parsed module;
+:func:`lint_paths` walks files/directories.  The CLI lives in
+:mod:`repro.analysis_static.cli` (``python -m repro.lint``).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import asdict, dataclass
+from pathlib import Path
+
+from .rules import RULES, is_reduction_home, roles_for, suppressed_rules
+
+#: Wall-clock callables of the :mod:`time` module (REP003).
+_WALLCLOCK_ATTRS = frozenset({
+    "time", "perf_counter", "monotonic", "process_time",
+    "time_ns", "perf_counter_ns", "monotonic_ns", "process_time_ns",
+})
+
+#: Reduction entry points whose argument order matters (REP001).
+_SUM_NAMES = frozenset({"sum", "fsum"})
+_NUMPY_SUM_ATTRS = frozenset({"sum", "nansum"})
+_NUMPY_ALIASES = frozenset({"np", "numpy"})
+
+#: Array constructors that accept ``dtype=`` (REP005).
+_ARRAY_CTORS = frozenset({
+    "array", "asarray", "ascontiguousarray", "asfortranarray", "zeros",
+    "ones", "empty", "full", "zeros_like", "ones_like", "empty_like",
+    "full_like", "frombuffer", "fromiter", "arange", "linspace",
+})
+
+#: Explicit dtypes narrower than (or different from) float64 that would
+#: silently change energies (REP005).  int/bool dtypes are index bookkeeping
+#: and stay allowed.
+_BAD_DTYPES = frozenset({
+    "float32", "float16", "half", "single", "longdouble", "float128",
+    "complex64", "f2", "f4", "<f4", ">f4", "e", "<f2", ">f2",
+})
+
+#: Identifier substrings marking a ``range()`` bound as a rank count
+#: (REP002's manual-rank-loop heuristic).
+_RANK_COUNT_MARKERS = ("size", "nranks", "nworkers", "ranks_per_node", "P")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint finding, ``file:line:col`` addressable."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    hint: str
+
+    def format(self) -> str:
+        return (f"{self.path}:{self.line}:{self.col}: {self.rule} "
+                f"{self.message}\n    hint: {self.hint}")
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+
+def _call_name(node: ast.expr) -> str | None:
+    """Dotted name of a call's func when statically obvious."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        base = _call_name(node.value)
+        return f"{base}.{node.attr}" if base else None
+    return None
+
+
+def _unordered_container(node: ast.expr) -> str | None:
+    """Why iterating ``node`` has no defined order, or None if it does."""
+    if isinstance(node, ast.Call):
+        name = _call_name(node.func)
+        if name in ("set", "frozenset"):
+            return f"{name}(...)"
+        if (isinstance(node.func, ast.Attribute)
+                and node.func.attr == "values" and not node.args):
+            return ".values()"
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return "a set literal"
+    return None
+
+
+def _range_rank_bound(node: ast.expr) -> str | None:
+    """The source text of a ``range(...)`` bound that names a rank count,
+    else None."""
+    if not (isinstance(node, ast.Call)
+            and _call_name(node.func) == "range" and node.args):
+        return None
+    bound = node.args[-1 if len(node.args) == 1 else 1]
+    text = ast.unparse(bound)
+    ident = text.rsplit(".", 1)[-1]
+    for marker in _RANK_COUNT_MARKERS:
+        if marker == "P":
+            if ident == "P":
+                return text
+        elif marker in ident.lower():
+            return text
+    return None
+
+
+class _Visitor(ast.NodeVisitor):
+    def __init__(self, path: str, roles: frozenset[str],
+                 active: dict[str, bool]) -> None:
+        self.path = path
+        self.roles = roles
+        self.active = active
+        self.raw: list[Finding] = []
+        self._time_aliases: set[str] = set()
+        self._module_aliases: set[str] = set()
+
+    def _emit(self, rule_id: str, node: ast.AST, message: str) -> None:
+        if not self.active.get(rule_id, False):
+            return
+        rule = RULES[rule_id]
+        self.raw.append(Finding(
+            rule=rule_id, path=self.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            message=message, hint=rule.hint))
+
+    # -- imports (REP003 aliases, REP004) ------------------------------
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            root = alias.name.split(".", 1)[0]
+            if alias.name == "time" or alias.name.startswith("time."):
+                self._module_aliases.add(alias.asname or root)
+            if root == "multiprocessing":
+                self._emit("REP004", node,
+                           f"import of {alias.name!r} outside procpool/")
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        mod = node.module or ""
+        if mod == "time":
+            for alias in node.names:
+                if alias.name in _WALLCLOCK_ATTRS:
+                    self._time_aliases.add(alias.asname or alias.name)
+        if mod.split(".", 1)[0] == "multiprocessing":
+            names = ", ".join(a.name for a in node.names)
+            self._emit("REP004", node,
+                       f"'from {mod} import {names}' outside procpool/")
+        self.generic_visit(node)
+
+    # -- calls (REP001, REP002, REP003, REP005) ------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        self._check_unordered_sum(node)
+        self._check_foreign_reduction(node)
+        self._check_wallclock(node)
+        self._check_dtype(node)
+        self.generic_visit(node)
+
+    def _check_unordered_sum(self, node: ast.Call) -> None:
+        name = _call_name(node.func)
+        is_sum = (name in _SUM_NAMES or name == "math.fsum"
+                  or (isinstance(node.func, ast.Attribute)
+                      and node.func.attr in _NUMPY_SUM_ATTRS
+                      and isinstance(node.func.value, ast.Name)
+                      and node.func.value.id in _NUMPY_ALIASES))
+        if not is_sum or not node.args:
+            return
+        arg = node.args[0]
+        why = _unordered_container(arg)
+        if why is None and isinstance(arg, (ast.GeneratorExp, ast.ListComp,
+                                            ast.SetComp)):
+            why = _unordered_container(arg.generators[0].iter)
+            if why is not None:
+                why = f"a comprehension over {why}"
+        if why is not None:
+            self._emit("REP001", node,
+                       f"float accumulation over {why} has no defined "
+                       "iteration order")
+
+    def _check_foreign_reduction(self, node: ast.Call) -> None:
+        if is_reduction_home(self.path):
+            return
+        # np.stack(...).sum(...) / np.vstack(...).sum(...)
+        if (isinstance(node.func, ast.Attribute) and node.func.attr == "sum"
+                and isinstance(node.func.value, ast.Call)):
+            inner = node.func.value
+            iname = _call_name(inner.func)
+            if iname and iname.split(".", 1)[0] in _NUMPY_ALIASES \
+                    and iname.rsplit(".", 1)[-1] in ("stack", "vstack"):
+                self._emit("REP002", node,
+                           "stack-and-sum reduction spelled outside the "
+                           "collective modules")
+                return
+        # sum(... for r in range(<rank count>))
+        if _call_name(node.func) in _SUM_NAMES and node.args:
+            arg = node.args[0]
+            if isinstance(arg, (ast.GeneratorExp, ast.ListComp)):
+                bound = _range_rank_bound(arg.generators[0].iter)
+                if bound is not None:
+                    self._emit("REP002", node,
+                               f"manual rank-loop reduction over "
+                               f"range({bound})")
+
+    def _check_wallclock(self, node: ast.Call) -> None:
+        func = node.func
+        if (isinstance(func, ast.Attribute)
+                and func.attr in _WALLCLOCK_ATTRS
+                and isinstance(func.value, ast.Name)
+                and func.value.id in (self._module_aliases | {"time"})):
+            self._emit("REP003", node,
+                       f"wall-clock call time.{func.attr}() in "
+                       "simulated-time code")
+        elif isinstance(func, ast.Name) and func.id in self._time_aliases:
+            self._emit("REP003", node,
+                       f"wall-clock call {func.id}() in simulated-time "
+                       "code")
+
+    def _check_dtype(self, node: ast.Call) -> None:
+        name = _call_name(node.func)
+        is_ctor = (name is not None
+                   and name.split(".", 1)[0] in _NUMPY_ALIASES
+                   and name.rsplit(".", 1)[-1] in _ARRAY_CTORS)
+        is_astype = (isinstance(node.func, ast.Attribute)
+                     and node.func.attr == "astype")
+        if not (is_ctor or is_astype):
+            return
+        candidates: list[ast.expr] = []
+        for kw in node.keywords:
+            if kw.arg == "dtype":
+                candidates.append(kw.value)
+        if is_astype and node.args:
+            candidates.append(node.args[0])
+        for cand in candidates:
+            text = ast.unparse(cand).strip("\"'").lower()
+            leaf = text.rsplit(".", 1)[-1]
+            if leaf in _BAD_DTYPES:
+                self._emit("REP005", node,
+                           f"explicit dtype {leaf!r} in an energy kernel "
+                           "(contract is float64)")
+
+    # -- bare for-loop rank reductions (REP002) ------------------------
+    def visit_For(self, node: ast.For) -> None:
+        if not is_reduction_home(self.path):
+            bound = _range_rank_bound(node.iter)
+            if bound is not None and any(
+                    isinstance(stmt, ast.AugAssign)
+                    and isinstance(stmt.op, ast.Add)
+                    for stmt in ast.walk(node)):
+                self._emit("REP002", node,
+                           f"manual accumulation loop over range({bound})")
+        self.generic_visit(node)
+
+
+def lint_source(source: str, path: str = "<string>",
+                only_rules: frozenset[str] | None = None) -> list[Finding]:
+    """Lint one module's source; returns the surviving findings."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as err:
+        return [Finding(rule="REP000", path=path, line=err.lineno or 1,
+                        col=err.offset or 0,
+                        message=f"syntax error: {err.msg}",
+                        hint="repro-lint requires parseable Python")]
+    roles = roles_for(path, source)
+    active = {}
+    for rule in RULES.values():
+        applies = (not (roles & rule.roles) if rule.invert_roles
+                   else bool(roles & rule.roles))
+        if only_rules is not None and rule.id not in only_rules:
+            applies = False
+        active[rule.id] = applies
+    visitor = _Visitor(path, roles, active)
+    visitor.visit(tree)
+    lines = source.splitlines()
+    out = []
+    for f in visitor.raw:
+        text = lines[f.line - 1] if 0 < f.line <= len(lines) else ""
+        disabled = suppressed_rules(text)
+        if f.rule in disabled or "ALL" in disabled:
+            continue
+        out.append(f)
+    return sorted(out, key=lambda f: (f.path, f.line, f.col, f.rule))
+
+
+def lint_file(path: str | Path,
+              only_rules: frozenset[str] | None = None) -> list[Finding]:
+    """Lint one file on disk."""
+    p = Path(path)
+    return lint_source(p.read_text(encoding="utf-8"), p.as_posix(),
+                       only_rules=only_rules)
+
+
+def iter_python_files(paths: list[str | Path]) -> list[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files,
+    skipping caches and hidden directories."""
+    out: list[Path] = []
+    for raw in paths:
+        p = Path(raw)
+        if p.is_dir():
+            out.extend(f for f in sorted(p.rglob("*.py"))
+                       if "__pycache__" not in f.parts
+                       and not any(part.startswith(".") for part in f.parts))
+        elif p.suffix == ".py":
+            out.append(p)
+    return out
+
+
+def lint_paths(paths: list[str | Path],
+               only_rules: frozenset[str] | None = None) -> list[Finding]:
+    """Lint every Python file under ``paths``."""
+    findings: list[Finding] = []
+    for f in iter_python_files(paths):
+        findings.extend(lint_file(f, only_rules=only_rules))
+    return findings

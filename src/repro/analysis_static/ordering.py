@@ -1,0 +1,158 @@
+"""Collective-ordering verifier.
+
+Every rank of an SPMD run must issue the identical sequence of collective
+calls; a divergence is a deadlock on real MPI and a
+:class:`~repro.parallel.simmpi.requests.DeadlockError` on the simulated
+engine.  This module records each rank's sequence as
+:class:`CollectiveRecord` entries -- (kind, op, root, dtype, shape) -- and
+:func:`diff_collective_logs` diffs the sequences at run end, turning a
+would-be hang into a structured report naming the first divergent call.
+
+Payload normalisation: ``allgather`` legitimately carries different
+per-rank shapes (variable segment lengths) so only its dtype is recorded;
+``bcast``/``gather`` payloads are root-defined (non-roots often pass
+None) so neither dtype nor shape is recorded for them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Sequence
+
+import numpy as np
+
+#: Kinds whose per-rank payload shape legitimately differs.
+_SHAPE_FREE = frozenset({"allgather"})
+#: Kinds whose payload is root-defined (ignore payload entirely).
+_PAYLOAD_FREE = frozenset({"bcast", "gather", "barrier"})
+
+
+def describe_payload(data: Any) -> tuple[str | None, tuple[int, ...] | None]:
+    """(dtype, shape) of a collective payload, for sequence comparison."""
+    if data is None:
+        return (None, None)
+    if isinstance(data, np.ndarray):
+        return (str(data.dtype), tuple(int(d) for d in data.shape))
+    if isinstance(data, (bool, np.bool_)):
+        return ("bool", ())
+    if isinstance(data, (int, np.integer)):
+        return ("int", ())
+    if isinstance(data, (float, np.floating)):
+        return ("float", ())
+    return (type(data).__name__, None)
+
+
+@dataclass(frozen=True)
+class CollectiveRecord:
+    """One collective call as seen by one rank."""
+
+    kind: str
+    op: str | None = None
+    root: int | None = None
+    dtype: str | None = None
+    shape: tuple[int, ...] | None = None
+
+    def format(self) -> str:
+        parts = [self.kind]
+        if self.op is not None:
+            parts.append(f"op={self.op}")
+        if self.root is not None:
+            parts.append(f"root={self.root}")
+        if self.dtype is not None:
+            parts.append(f"dtype={self.dtype}")
+        if self.shape is not None:
+            parts.append(f"shape={self.shape}")
+        return f"<{' '.join(parts)}>"
+
+
+class CollectiveLog:
+    """Ordered record of one rank's collective calls."""
+
+    def __init__(self, rank: int) -> None:
+        self.rank = int(rank)
+        self.records: list[CollectiveRecord] = []
+
+    def record(self, kind: str, *, op: str | None = None,
+               root: int | None = None, data: Any = None) -> None:
+        dtype: str | None = None
+        shape: tuple[int, ...] | None = None
+        if kind not in _PAYLOAD_FREE:
+            dtype, shape = describe_payload(data)
+            if kind in _SHAPE_FREE:
+                shape = None
+        self.records.append(CollectiveRecord(
+            kind=kind, op=op, root=root, dtype=dtype, shape=shape))
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    # -- cross-process transport ---------------------------------------
+    def payload(self) -> list[tuple]:
+        return [(r.kind, r.op, r.root, r.dtype, r.shape)
+                for r in self.records]
+
+    @classmethod
+    def from_payload(cls, rank: int,
+                     payload: Iterable[tuple]) -> "CollectiveLog":
+        log = cls(rank)
+        for kind, op, root, dtype, shape in payload:
+            log.records.append(CollectiveRecord(
+                kind=kind, op=op, root=root, dtype=dtype,
+                shape=tuple(shape) if shape is not None else None))
+        return log
+
+
+@dataclass(frozen=True)
+class OrderingMismatch:
+    """First-class description of one divergent sequence position."""
+
+    index: int
+    per_rank: dict[int, CollectiveRecord | None]
+
+    def format(self) -> str:
+        lines = [f"call #{self.index}:"]
+        for rank in sorted(self.per_rank):
+            rec = self.per_rank[rank]
+            lines.append(f"  rank {rank}: "
+                         f"{rec.format() if rec else '<no collective>'}")
+        return "\n".join(lines)
+
+
+@dataclass
+class OrderingReport:
+    """Result of diffing every rank's collective sequence."""
+
+    nranks: int
+    length: int
+    mismatches: list[OrderingMismatch]
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches
+
+    def format(self) -> str:
+        if self.ok:
+            return (f"collective ordering ok: {self.nranks} rank(s), "
+                    f"{self.length} collective call(s) in lockstep")
+        head = (f"collective-ordering mismatch across {self.nranks} "
+                f"rank(s):")
+        return "\n".join([head] + [m.format() for m in self.mismatches])
+
+
+def diff_collective_logs(logs: Sequence[CollectiveLog],
+                         max_mismatches: int = 5) -> OrderingReport:
+    """Diff per-rank collective sequences; every divergent position (up to
+    ``max_mismatches``) becomes an :class:`OrderingMismatch`."""
+    if not logs:
+        return OrderingReport(nranks=0, length=0, mismatches=[])
+    length = max(len(log) for log in logs)
+    mismatches: list[OrderingMismatch] = []
+    for i in range(length):
+        per_rank = {log.rank: (log.records[i] if i < len(log.records)
+                               else None) for log in logs}
+        if len(set(per_rank.values())) > 1:
+            mismatches.append(OrderingMismatch(index=i, per_rank=per_rank))
+            if len(mismatches) >= max_mismatches:
+                break
+    return OrderingReport(nranks=len(logs), length=length,
+                          mismatches=mismatches)

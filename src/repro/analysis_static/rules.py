@@ -1,0 +1,144 @@
+"""The ``repro-lint`` rule catalogue.
+
+Each rule guards one leg of the determinism contract (see
+``docs/ANALYSIS.md`` for bad/good examples).  Rules are scoped by *module
+role*; roles are inferred from the file path (``infer_roles``) and may be
+overridden with a magic comment near the top of a file::
+
+    # repro-lint: roles=parallel,simtime
+
+Individual findings are silenced per line::
+
+    total = sum(phase_t.values())  # repro-lint: disable=REP001 -- why...
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from pathlib import PurePosixPath
+
+#: Directories whose files do float accumulation that feeds energies.
+NUMERIC_DIRS = frozenset({
+    "core", "octree", "surface", "baselines", "loadbalance", "parallel",
+    "experiments", "analysis",
+})
+
+#: Directories holding the energy/Born kernels (dtype-drift sensitive).
+KERNEL_DIRS = frozenset({"core", "surface"})
+
+#: The only files allowed to implement cross-rank reductions directly.
+REDUCTION_HOME_FILES = (
+    "parallel/simmpi/collectives.py",
+    "parallel/procpool/backend.py",
+)
+
+_ROLES_RE = re.compile(r"#\s*repro-lint:\s*roles=([A-Za-z0-9_,\- ]+)")
+_DISABLE_RE = re.compile(r"#\s*repro-lint:\s*disable=([A-Za-z0-9_, ]+)")
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One lint rule: id, scoping roles, and the fix hint shown with every
+    finding."""
+
+    id: str
+    title: str
+    roles: frozenset[str]
+    hint: str
+    #: When True the rule applies everywhere *except* files carrying one of
+    #: ``roles`` (used by REP004, whose roles name the exemption).
+    invert_roles: bool = field(default=False)
+
+
+RULES: dict[str, Rule] = {r.id: r for r in (
+    Rule(
+        id="REP001",
+        title="float accumulation over an unordered container",
+        roles=frozenset({"numeric"}),
+        hint=("sum() over set/frozenset/dict.values() has no defined "
+              "order and float addition is not associative; materialise a "
+              "deterministically ordered sequence (e.g. sorted(...) or a "
+              "list built in fixed order) before accumulating"),
+    ),
+    Rule(
+        id="REP002",
+        title="cross-rank reduction outside the collective modules",
+        roles=frozenset({"parallel"}),
+        hint=("rank-order reductions live in "
+              "parallel/simmpi/collectives.py (reduce_values) and "
+              "parallel/procpool/backend.py; route this through the "
+              "backend's allreduce/reduce so every substrate shares one "
+              "reduction order"),
+    ),
+    Rule(
+        id="REP003",
+        title="wall-clock call inside simulated-time code",
+        roles=frozenset({"simtime"}),
+        hint=("simmpi/ and cilk/ model time; use "
+              "repro.runtime.clock.SimClock (ctx.advance/advance_to) "
+              "instead of time.time/perf_counter/monotonic"),
+    ),
+    Rule(
+        id="REP004",
+        title="raw multiprocessing/shared_memory use outside procpool",
+        roles=frozenset({"procpool"}),
+        hint=("OS-process and shared-memory plumbing is confined to "
+              "parallel/procpool/ (SharedArrayBundle, ScratchBuffer, "
+              "ProcessBackend); build on those abstractions instead"),
+        invert_roles=True,
+    ),
+    Rule(
+        id="REP005",
+        title="non-float64 array construction in an energy kernel",
+        roles=frozenset({"kernel"}),
+        hint=("energy/Born kernels are float64 end to end (the "
+              "bit-compatibility contract); drop the narrower dtype or "
+              "cast at the boundary, not inside the kernel"),
+    ),
+)}
+
+
+def infer_roles(path: str) -> frozenset[str]:
+    """Derive the role set of a file from its (posix) path components."""
+    parts = set(PurePosixPath(path).parts)
+    roles: set[str] = set()
+    if "procpool" in parts:
+        roles.add("procpool")
+    if "simmpi" in parts or "cilk" in parts:
+        roles.add("simtime")
+    if "parallel" in parts:
+        roles.add("parallel")
+    if parts & NUMERIC_DIRS:
+        roles.add("numeric")
+    if parts & KERNEL_DIRS:
+        roles.add("kernel")
+    return frozenset(roles)
+
+
+def roles_for(path: str, source: str) -> frozenset[str]:
+    """Roles of a file: a magic ``roles=`` comment in the first lines wins
+    over path inference (used by lint fixtures and generated code)."""
+    for line in source.splitlines()[:10]:
+        m = _ROLES_RE.search(line)
+        if m:
+            return frozenset(
+                r.strip() for r in m.group(1).split(",") if r.strip())
+    return infer_roles(path)
+
+
+def is_reduction_home(path: str) -> bool:
+    """Whether ``path`` is one of the two files allowed to spell out
+    rank-order reductions (REP002 exemption)."""
+    posix = PurePosixPath(path).as_posix()
+    return any(posix.endswith(home) for home in REDUCTION_HOME_FILES)
+
+
+def suppressed_rules(line: str) -> frozenset[str]:
+    """Rule ids disabled on one physical source line (``all`` disables
+    every rule)."""
+    m = _DISABLE_RE.search(line)
+    if not m:
+        return frozenset()
+    return frozenset(r.strip().upper()
+                     for r in m.group(1).split(",") if r.strip())

@@ -1,0 +1,10 @@
+"""``python -m repro.lint`` -- run the repro-lint determinism pass.
+
+Thin executable alias for :mod:`repro.analysis_static.cli`; see
+``docs/ANALYSIS.md`` for the rule catalogue.
+"""
+
+from .analysis_static.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

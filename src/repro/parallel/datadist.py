@@ -150,7 +150,9 @@ def analyze_distribution(calc: PolarizationEnergyCalculator, *,
     halo = np.zeros(nranks)
     messages = 0
     traffic = 0
-    for rank in range(nranks):
+    # Integer byte/message *accounting* per rank, not a numeric reduction
+    # that must share the collective modules' float ordering.
+    for rank in range(nranks):  # repro-lint: disable=REP002
         lo, hi = q_bounds[rank]
         q_points = int(q_tree.point_end[q_tree.leaves[hi - 1]]
                        - q_tree.point_start[q_tree.leaves[lo]]) if hi > lo else 0

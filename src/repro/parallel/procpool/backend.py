@@ -25,10 +25,12 @@ backend deterministic run-to-run regardless of OS scheduling.
 
 from __future__ import annotations
 
-from typing import Protocol, runtime_checkable
+from typing import Any, Protocol, runtime_checkable
 
 import numpy as np
 
+from ...analysis_static.ordering import CollectiveLog
+from ...analysis_static.races import WriteIntentTracker
 from .shm import ScratchBuffer
 
 
@@ -98,16 +100,35 @@ class ProcessBackend:
     on every rank.
     """
 
-    def __init__(self, rank: int, size: int, barrier,
-                 scratch: ScratchBuffer) -> None:
+    def __init__(self, rank: int, size: int, barrier: Any,
+                 scratch: ScratchBuffer, *,
+                 tracker: WriteIntentTracker | None = None,
+                 collective_log: CollectiveLog | None = None) -> None:
         if scratch.size != size:
             raise ValueError("scratch buffer sized for a different pool")
         self.rank = rank
         self.size = size
         self._barrier = barrier
         self._scratch = scratch
+        self._tracker = tracker
+        self._log = collective_log
+        if tracker is not None:
+            scratch.enable_tracking(tracker)
 
     # -- internals -----------------------------------------------------
+    def _wait(self) -> None:
+        """One barrier arrival; a tracked rank's race-detector epoch
+        advances here (writes on opposite sides of a barrier cannot
+        race)."""
+        self._barrier.wait()
+        if self._tracker is not None:
+            self._tracker.advance_epoch()
+
+    def _record(self, kind: str, data: Any, *, op: str | None = None,
+                root: int | None = None) -> None:
+        if self._log is not None:
+            self._log.record(kind, op=op, root=root, data=data)
+
     def _publish(self, arr: np.ndarray) -> None:
         a = np.ascontiguousarray(arr, dtype=np.float64).ravel()
         if a.size > self._scratch.slot_floats:
@@ -116,13 +137,14 @@ class ProcessBackend:
                 f"({self._scratch.slot_floats})")
         self._scratch.lengths[self.rank] = a.size
         self._scratch.slots[self.rank, :a.size] = a
-        self._barrier.wait()
+        self._wait()
 
     def _drain(self) -> None:
-        self._barrier.wait()
+        self._wait()
 
     # -- collectives ---------------------------------------------------
     def allreduce(self, arr: np.ndarray) -> np.ndarray:
+        self._record("allreduce", arr, op="sum")
         self._publish(arr)
         n = int(self._scratch.lengths[0])
         out = np.stack([self._scratch.slots[r, :n]
@@ -131,6 +153,7 @@ class ProcessBackend:
         return out.reshape(np.asarray(arr).shape)
 
     def allgather(self, arr: np.ndarray) -> list[np.ndarray]:
+        self._record("allgather", arr)
         self._publish(arr)
         sizes = [int(self._scratch.lengths[r]) for r in range(self.size)]
         out = [self._scratch.slots[r, :sizes[r]].copy()
@@ -139,6 +162,7 @@ class ProcessBackend:
         return out
 
     def reduce(self, value: float, *, root: int = 0) -> float | None:
+        self._record("reduce", float(value), op="sum", root=root)
         self._publish(np.array([float(value)]))
         result = None
         if self.rank == root:
@@ -148,4 +172,5 @@ class ProcessBackend:
         return result
 
     def barrier(self) -> None:
-        self._barrier.wait()
+        self._record("barrier", None)
+        self._wait()

@@ -27,6 +27,10 @@ from typing import Any, Callable
 
 import numpy as np
 
+from ...analysis_static.checks import DeterminismReport, checks_enabled
+from ...analysis_static.ordering import CollectiveLog, diff_collective_logs
+from ...analysis_static.races import (WriteIntentTracker, find_races,
+                                      intents_from_payload)
 from ...core.born import (AtomTreeData, BornPartial, QuadTreeData,
                           approx_integrals, push_integrals_to_atoms)
 from ...core.energy import EnergyContext, approx_epol
@@ -57,6 +61,10 @@ class RankReport:
     span_seconds: float
     counters: WorkCounters
     events: list[tuple[str, dict[str, Any]]]
+    #: Race-detector write intents (``REPRO_CHECKS=1`` only; flat tuples).
+    intents: list[tuple] = field(default_factory=list)
+    #: Collective-ordering log (``REPRO_CHECKS=1`` only; flat tuples).
+    collectives: list[tuple] = field(default_factory=list)
 
 
 def rank_program(backend: ExecutionBackend, atoms: AtomTreeData,
@@ -163,6 +171,8 @@ class BackendRunResult:
     rank_seconds: list[float]
     counters: WorkCounters
     trace: Trace = field(default_factory=Trace)
+    #: Determinism-checker outcome (``REPRO_CHECKS=1`` runs only).
+    checks: DeterminismReport | None = None
 
     @property
     def pipeline_seconds(self) -> float:
@@ -192,12 +202,16 @@ def _merge_reports(reports: list[RankReport], trace: Trace,
 def _worker_main(rank: int, size: int, bundle_name: str, layout: dict,
                  scratch_name: str, slot_floats: int, result_name: str,
                  params: ApproximationParams, mol_name: str,
-                 max_radius: float, barrier, queue) -> None:
+                 max_radius: float, checks: bool, barrier, queue) -> None:
     """Entry point of one pool worker (module-level for spawn support)."""
     bundle = None
     scratch = None
     try:
+        tracker = WriteIntentTracker(rank) if checks else None
+        coll_log = CollectiveLog(rank) if checks else None
         bundle = SharedArrayBundle.attach(bundle_name, layout)
+        if tracker is not None:
+            bundle.enable_tracking(tracker)
         molecule = Molecule(bundle.view("positions"), bundle.view("radii"),
                             bundle.view("charges"), name=mol_name)
         surface = SurfaceQuadrature(bundle.view("q_points"),
@@ -209,9 +223,14 @@ def _worker_main(rank: int, size: int, bundle_name: str, layout: dict,
         atoms = AtomTreeData.build(molecule, leaf_cap=params.leaf_cap)
         quad = QuadTreeData.build(surface, leaf_cap=params.quad_leaf_cap)
         scratch = ScratchBuffer.attach(scratch_name, size, slot_floats)
-        backend = ProcessBackend(rank, size, barrier, scratch)
+        backend = ProcessBackend(rank, size, barrier, scratch,
+                                 tracker=tracker, collective_log=coll_log)
         report = rank_program(backend, atoms, quad, params,
                               max_radius=max_radius)
+        if tracker is not None:
+            report.intents = tracker.payload()
+        if coll_log is not None:
+            report.collectives = coll_log.payload()
         if rank == 0:
             from multiprocessing import shared_memory
 
@@ -262,6 +281,7 @@ def run_real(calc, nworkers: int, *, trace: Trace | None = None,
     method = start_method or os.environ.get(START_METHOD_ENV) or None
     ctx = mp.get_context(method)
     trace = trace if trace is not None else Trace()
+    checks = checks_enabled()
 
     setup_t0 = time.perf_counter()
     surface = calc.prepare_surface()
@@ -293,7 +313,7 @@ def run_real(calc, nworkers: int, *, trace: Trace | None = None,
         target=_worker_main,
         args=(r, nworkers, bundle.name, bundle.layout, scratch.name,
               slot_floats, result_blk.name, calc.params, molecule.name,
-              max_radius, barrier, queue),
+              max_radius, checks, barrier, queue),
         daemon=True) for r in range(nworkers)]
     reports: list[RankReport] = []
     try:
@@ -344,6 +364,18 @@ def run_real(calc, nworkers: int, *, trace: Trace | None = None,
     energy = epol_from_pair_sum(pair_sum,
                                 epsilon_solvent=calc.params.epsilon_solvent)
     reports.sort(key=lambda r: r.rank)
+    checks_report = None
+    if checks:
+        intents = [i for r in reports
+                   for i in intents_from_payload(r.intents)]
+        logs = [CollectiveLog.from_payload(r.rank, r.collectives)
+                for r in reports]
+        checks_report = DeterminismReport(
+            nranks=nworkers, races=find_races(intents),
+            ordering=diff_collective_logs(logs),
+            intents_recorded=len(intents))
+        # A checked run must fail loudly, not return tainted numbers.
+        checks_report.raise_if_failed()
     counters, phase_seconds = _merge_reports(reports, trace, 0.0)
     trace.record(wall_seconds, "pool", -1,
                  {"nworkers": nworkers, "start_method": method or "default",
@@ -354,4 +386,4 @@ def run_real(calc, nworkers: int, *, trace: Trace | None = None,
         wall_seconds=wall_seconds, setup_seconds=setup_seconds,
         phase_seconds=phase_seconds,
         rank_seconds=[r.span_seconds for r in reports],
-        counters=counters, trace=trace)
+        counters=counters, trace=trace, checks=checks_report)

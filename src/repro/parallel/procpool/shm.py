@@ -20,6 +20,8 @@ from multiprocessing import shared_memory
 
 import numpy as np
 
+from ...analysis_static.races import WriteIntentTracker, tracked_view
+
 
 def _keep_mapped(shm: shared_memory.SharedMemory) -> None:
     """Leave an attached segment mapped for the life of this process.
@@ -52,6 +54,13 @@ class SharedArrayBundle:
         self._shm = shm
         self.layout = layout
         self._owner = owner
+        self._unlinked = False
+        self._tracker: WriteIntentTracker | None = None
+
+    def enable_tracking(self, tracker: WriteIntentTracker) -> None:
+        """Arm the race detector: subsequent :meth:`view` results record
+        write intents against ``tracker`` (opt-in; plain views otherwise)."""
+        self._tracker = tracker
 
     # -- lifecycle -----------------------------------------------------
     @classmethod
@@ -89,14 +98,23 @@ class SharedArrayBundle:
         count = int(np.prod(spec.shape, dtype=np.int64)) if spec.shape else 1
         flat = np.frombuffer(self._shm.buf, dtype=np.float64,
                              count=count, offset=spec.offset)
-        return flat.reshape(spec.shape)
+        arr = flat.reshape(spec.shape)
+        if self._tracker is not None:
+            return tracked_view(arr, f"bundle:{key}", self._tracker)
+        return arr
 
     def close(self) -> None:
         self._shm.close()
 
     def unlink(self) -> None:
-        if self._owner:
-            self._shm.unlink()
+        if self._owner and not self._unlinked:
+            self._unlinked = True
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:
+                # A dying attacher's resource tracker can reap the segment
+                # first; the owner's unlink is then already satisfied.
+                pass
 
 
 class ScratchBuffer:
@@ -115,6 +133,7 @@ class ScratchBuffer:
         self.size = size
         self.slot_floats = slot_floats
         self._owner = owner
+        self._unlinked = False
         header_bytes = self.HEADER_ITEM * size
         self.lengths = np.frombuffer(shm.buf, dtype=np.int64, count=size)
         self.slots = np.frombuffer(
@@ -140,6 +159,12 @@ class ScratchBuffer:
     def name(self) -> str:
         return self._shm.name
 
+    def enable_tracking(self, tracker: WriteIntentTracker) -> None:
+        """Arm the race detector: writes through :attr:`lengths` /
+        :attr:`slots` record intents against ``tracker``."""
+        self.lengths = tracked_view(self.lengths, "scratch:lengths", tracker)
+        self.slots = tracked_view(self.slots, "scratch:slots", tracker)
+
     def close(self) -> None:
         # Views into the buffer must be dropped before closing the mmap.
         self.lengths = None  # type: ignore[assignment]
@@ -147,5 +172,9 @@ class ScratchBuffer:
         self._shm.close()
 
     def unlink(self) -> None:
-        if self._owner:
-            self._shm.unlink()
+        if self._owner and not self._unlinked:
+            self._unlinked = True
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:
+                pass  # reaped by an attacher's resource tracker already

@@ -1,0 +1,24 @@
+# repro-lint: roles=numeric
+"""REP001 fixture: float accumulation over unordered containers."""
+
+import numpy as np
+
+weights = {"a": 0.1, "b": 0.2, "c": 0.3}
+corrections = {1.0e-16, 2.0e-16, 3.0e-16}
+
+
+def total_weight() -> float:
+    return sum(weights.values())  # BAD: dict.values() feeding sum
+
+
+def total_correction() -> float:
+    return float(np.sum(set(corrections)))  # BAD: set feeding np.sum
+
+
+def scaled_total(scale: float) -> float:
+    return sum(scale * w for w in frozenset(weights.values()))  # BAD
+
+
+def fine_total() -> float:
+    # GOOD: explicitly ordered accumulation.
+    return sum(sorted(weights.values()))

@@ -1,0 +1,19 @@
+# repro-lint: roles=parallel
+"""REP002 fixture: cross-rank reductions outside the collective modules."""
+
+import numpy as np
+
+
+def combine(parts: list[np.ndarray]) -> np.ndarray:
+    return np.stack(parts).sum(axis=0)  # BAD: stack-and-sum reduction
+
+
+def scalar_reduce(slots: np.ndarray, size: int) -> float:
+    return sum(float(slots[r]) for r in range(size))  # BAD: rank loop
+
+
+def accumulate(values: list[float], nranks: int) -> float:
+    total = 0.0
+    for r in range(nranks):  # BAD: manual accumulation loop over ranks
+        total += values[r]
+    return total

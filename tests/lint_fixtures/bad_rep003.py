@@ -1,0 +1,15 @@
+# repro-lint: roles=simtime
+"""REP003 fixture: wall-clock calls inside simulated-time code."""
+
+import time
+from time import perf_counter
+
+
+def simulated_phase() -> float:
+    start = time.time()  # BAD: wall clock in a simulated-time path
+    return start
+
+
+def modelled_span() -> float:
+    t0 = perf_counter()  # BAD: imported wall-clock callable
+    return time.monotonic() - t0  # BAD: and another one

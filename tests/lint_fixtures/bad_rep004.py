@@ -1,0 +1,9 @@
+"""REP004 fixture: raw multiprocessing use outside procpool/."""
+
+import multiprocessing  # BAD: process plumbing outside procpool/
+from multiprocessing import shared_memory  # BAD: raw shared memory
+
+
+def make_block(nbytes: int):
+    _ = multiprocessing.cpu_count()
+    return shared_memory.SharedMemory(create=True, size=nbytes)

@@ -1,0 +1,16 @@
+# repro-lint: roles=kernel
+"""REP005 fixture: dtype drift inside an energy kernel."""
+
+import numpy as np
+
+
+def kernel(n: int) -> np.ndarray:
+    acc = np.zeros(n, dtype=np.float32)  # BAD: narrowed accumulator
+    acc += np.ones(n, dtype="float32")  # BAD: string dtype drift
+    return acc.astype(np.float16)  # BAD: astype narrowing
+
+
+def fine(n: int) -> np.ndarray:
+    # GOOD: float64 payloads, int64 bookkeeping.
+    idx = np.arange(n, dtype=np.int64)
+    return np.zeros(n, dtype=np.float64)[idx]

@@ -1,0 +1,32 @@
+# repro-lint: roles=numeric,parallel,simtime,kernel
+"""Near-miss patterns that must NOT fire any REPxxx rule."""
+
+import numpy as np
+
+from repro.runtime.clock import SimClock
+
+table = {"a": 1.0, "b": 2.0}
+
+
+def ordered_sums() -> float:
+    # sorted(...) materialises a deterministic order before summing.
+    a = sum(sorted(table.values()))
+    b = float(np.sum(np.asarray([1.0, 2.0], dtype=np.float64)))
+    c = sum(v for v in [1.0, 2.0, 3.0])
+    return a + b + c
+
+
+def simulated_time() -> float:
+    clock = SimClock()
+    clock.advance(1.5)
+    return clock.now
+
+
+def int_bookkeeping(n: int) -> np.ndarray:
+    # Integer dtypes are index bookkeeping, not energy payloads.
+    return np.arange(n, dtype=np.int64)
+
+
+def suppressed() -> float:
+    # An annotated, deliberate exception stays silent.
+    return sum(table.values())  # repro-lint: disable=REP001 -- fixed order

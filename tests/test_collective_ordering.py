@@ -1,0 +1,124 @@
+"""Collective-ordering verifier: sequence diffing, payload normalisation,
+and the simmpi mismatch report."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis_static.ordering import (CollectiveLog, CollectiveRecord,
+                                            describe_payload,
+                                            diff_collective_logs)
+from repro.parallel.simmpi.comm import run_spmd
+from repro.parallel.simmpi.requests import DeadlockError
+
+
+def _log(rank: int, *calls) -> CollectiveLog:
+    log = CollectiveLog(rank)
+    for kind, data in calls:
+        log.record(kind, op="sum" if kind in ("allreduce", "reduce")
+                   else None, data=data)
+    return log
+
+
+class TestDescribePayload:
+    def test_array_scalar_none(self):
+        assert describe_payload(np.zeros((3, 2))) == ("float64", (3, 2))
+        assert describe_payload(1.5) == ("float", ())
+        assert describe_payload(7) == ("int", ())
+        assert describe_payload(None) == (None, None)
+
+
+class TestDiff:
+    def test_lockstep_sequences_ok(self):
+        logs = [_log(r, ("allreduce", np.zeros(4)), ("reduce", 1.0))
+                for r in range(3)]
+        report = diff_collective_logs(logs)
+        assert report.ok
+        assert report.length == 2
+        assert "lockstep" in report.format()
+
+    def test_kind_mismatch_detected(self):
+        logs = [_log(0, ("allreduce", np.zeros(4))),
+                _log(1, ("reduce", 1.0))]
+        report = diff_collective_logs(logs)
+        assert not report.ok
+        assert report.mismatches[0].index == 0
+        text = report.format()
+        assert "rank 0" in text and "rank 1" in text
+        assert "allreduce" in text and "reduce" in text
+
+    def test_shape_mismatch_detected(self):
+        logs = [_log(0, ("allreduce", np.zeros(4))),
+                _log(1, ("allreduce", np.zeros(5)))]
+        assert not diff_collective_logs(logs).ok
+
+    def test_dtype_mismatch_detected(self):
+        logs = [_log(0, ("allreduce", np.zeros(4))),
+                _log(1, ("allreduce", np.zeros(4, dtype=np.int64)))]
+        assert not diff_collective_logs(logs).ok
+
+    def test_allgather_variable_shapes_legal(self):
+        """allgather carries per-rank segment lengths by design."""
+        logs = [_log(0, ("allgather", np.zeros(7))),
+                _log(1, ("allgather", np.zeros(8)))]
+        assert diff_collective_logs(logs).ok
+
+    def test_trailing_extra_collective_detected(self):
+        logs = [_log(0, ("allreduce", np.zeros(4)), ("barrier", None)),
+                _log(1, ("allreduce", np.zeros(4)))]
+        report = diff_collective_logs(logs)
+        assert not report.ok
+        assert "<no collective>" in report.format()
+
+    def test_payload_roundtrip(self):
+        log = _log(2, ("allreduce", np.zeros((2, 3))), ("reduce", 1.0))
+        restored = CollectiveLog.from_payload(2, log.payload())
+        assert restored.records == log.records
+
+    def test_record_format_readable(self):
+        rec = CollectiveRecord(kind="allreduce", op="sum",
+                               dtype="float64", shape=(4,))
+        text = rec.format()
+        assert "allreduce" in text and "float64" in text
+
+
+class TestSimmpiMismatchReport:
+    def test_mismatch_deadlock_carries_structured_report(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CHECKS", "1")
+
+        def program(ctx):
+            if ctx.rank == 0:
+                yield ctx.allreduce(np.zeros(4))
+            else:
+                yield ctx.barrier()
+            return None
+
+        with pytest.raises(DeadlockError) as err:
+            run_spmd(program, nranks=2)
+        text = str(err.value)
+        assert "collective-ordering mismatch" in text
+        assert "allreduce" in text and "barrier" in text
+
+    def test_mismatch_without_checks_still_deadlocks(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CHECKS", raising=False)
+
+        def program(ctx):
+            if ctx.rank == 0:
+                yield ctx.allreduce(1.0)
+            else:
+                yield ctx.barrier()
+            return None
+
+        with pytest.raises(DeadlockError):
+            run_spmd(program, nranks=2)
+
+    def test_clean_program_unaffected_by_checks(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CHECKS", "1")
+
+        def program(ctx):
+            total = yield ctx.allreduce(ctx.rank)
+            return total
+
+        result = run_spmd(program, nranks=4)
+        assert result.returns == [6, 6, 6, 6]

@@ -1,0 +1,180 @@
+"""Shared-memory race detector: epoch model, overlap reporting, and the
+checked differential runs.
+
+Acceptance criteria covered here: a deliberately overlapping two-rank
+write to one SharedArrayBundle segment in the same epoch is reported with
+both ranks identified; the standard P in {2, 4} differential run reports
+zero races and zero collective-order mismatches.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis_static.races import (TrackedArray, WriteIntentTracker,
+                                         find_races, flat_cover,
+                                         intents_from_payload, tracked_view)
+from repro.core.driver import PolarizationEnergyCalculator
+from repro.molecule.generators import protein_blob
+from repro.parallel.procpool.shm import SharedArrayBundle
+
+
+@pytest.fixture()
+def bundle():
+    b = SharedArrayBundle.create({"field": np.zeros(32)})
+    yield b
+    b.close()
+    b.unlink()
+
+
+class TestFlatCover:
+    def test_basic_keys(self):
+        assert flat_cover((8,), slice(2, 5)) == (2, 5)
+        assert flat_cover((8,), 3) == (3, 4)
+        assert flat_cover((8,), Ellipsis) == (0, 8)
+        assert flat_cover((4, 6), (2, slice(0, 3))) == (12, 15)
+        assert flat_cover((4, 6), 1) == (6, 12)
+
+    def test_negative_and_stepped(self):
+        assert flat_cover((8,), -1) == (7, 8)
+        assert flat_cover((8,), slice(0, 8, 3)) == (0, 7)  # covering
+
+    def test_empty_write_is_none(self):
+        assert flat_cover((8,), slice(3, 3)) is None
+        assert flat_cover((0,), slice(None)) is None
+
+    def test_fancy_indexing_covers_everything(self):
+        assert flat_cover((8,), np.array([1, 5])) == (0, 8)
+
+    def test_scalar_shape(self):
+        assert flat_cover((), Ellipsis) == (0, 1)
+
+
+class TestOverlapDetection:
+    def test_overlapping_same_epoch_writes_reported(self, bundle):
+        """The headline acceptance test: two ranks write overlapping
+        slices of one bundle segment in the same epoch."""
+        trackers = [WriteIntentTracker(0), WriteIntentTracker(1)]
+        for tracker in trackers:
+            bundle.enable_tracking(tracker)
+            bundle.view("field")[4:12] = float(tracker.rank)
+        intents = [i for t in trackers for i in t.intents]
+        races = find_races(intents)
+        assert len(races) == 1
+        race = races[0]
+        assert {race.a.rank, race.b.rank} == {0, 1}
+        assert race.array == "bundle:field"
+        assert race.epoch == 0
+        text = race.describe()
+        assert "rank 0" in text and "rank 1" in text
+        # Both stack traces point at the offending write site.
+        assert race.a.stack and race.b.stack
+        assert "test_race_detector" in race.a.stack
+
+    def test_disjoint_writes_are_clean(self, bundle):
+        trackers = [WriteIntentTracker(0), WriteIntentTracker(1)]
+        bounds = [(0, 16), (16, 32)]
+        for tracker, (lo, hi) in zip(trackers, bounds):
+            bundle.enable_tracking(tracker)
+            bundle.view("field")[lo:hi] = 1.0
+        assert find_races([i for t in trackers for i in t.intents]) == []
+
+    def test_barrier_epoch_separates_writes(self, bundle):
+        """The same overlapping writes in *different* epochs are legal
+        (a barrier orders them)."""
+        t0, t1 = WriteIntentTracker(0), WriteIntentTracker(1)
+        bundle.enable_tracking(t0)
+        bundle.view("field")[:] = 0.0
+        t0.advance_epoch()
+        t1.advance_epoch()
+        bundle.enable_tracking(t1)
+        bundle.view("field")[:] = 1.0
+        assert find_races(list(t0.intents) + list(t1.intents)) == []
+
+    def test_same_rank_rewrites_allowed(self, bundle):
+        tracker = WriteIntentTracker(0)
+        bundle.enable_tracking(tracker)
+        view = bundle.view("field")
+        view[0:8] = 1.0
+        view[4:12] = 2.0  # overlaps its own earlier write: fine
+        assert find_races(tracker.intents) == []
+
+
+class TestTracker:
+    def test_dedup_and_payload_roundtrip(self, bundle):
+        tracker = WriteIntentTracker(3)
+        bundle.enable_tracking(tracker)
+        view = bundle.view("field")
+        for _ in range(100):
+            view[0:4] = 1.0  # hot loop: one intent, not 100
+        assert len(tracker.intents) == 1
+        restored = intents_from_payload(tracker.payload())
+        assert restored == tracker.intents
+        assert restored[0].rank == 3
+
+    def test_scratch_buffer_tracking(self):
+        from repro.parallel.procpool.shm import ScratchBuffer
+        scratch = ScratchBuffer.create(2, 8)
+        try:
+            tracker = WriteIntentTracker(0)
+            scratch.enable_tracking(tracker)
+            scratch.lengths[0] = 5
+            scratch.slots[0, :5] = np.arange(5.0)
+            names = {i.array for i in tracker.intents}
+            assert names == {"scratch:lengths", "scratch:slots"}
+        finally:
+            scratch.close()
+            scratch.unlink()
+
+
+class TestZeroOverheadWhenDisabled:
+    def test_plain_views_without_tracker(self, bundle):
+        """Regression: no shadow allocations unless tracking is armed."""
+        view = bundle.view("field")
+        assert type(view) is np.ndarray
+        assert not isinstance(view, TrackedArray)
+        assert bundle._tracker is None
+
+    def test_scratch_plain_without_tracker(self):
+        from repro.parallel.procpool.shm import ScratchBuffer
+        scratch = ScratchBuffer.create(2, 4)
+        try:
+            assert type(scratch.lengths) is np.ndarray
+            assert type(scratch.slots) is np.ndarray
+        finally:
+            scratch.close()
+            scratch.unlink()
+
+    def test_derived_views_drop_tracking(self, bundle):
+        tracker = WriteIntentTracker(0)
+        view = tracked_view(bundle.view("field"), "x", tracker)
+        derived = view[2:10]
+        derived[0] = 1.0  # documented: derived views are untracked
+        assert len(tracker.intents) == 0
+
+
+class TestCheckedDifferentialRuns:
+    """The standard P in {2, 4} run under REPRO_CHECKS=1: zero races,
+    zero collective-order mismatches, energies unchanged."""
+
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_checked_run_clean_and_bitcompatible(self, monkeypatch,
+                                                 workers):
+        monkeypatch.setenv("REPRO_CHECKS", "1")
+        calc = PolarizationEnergyCalculator(protein_blob(150, seed=21))
+        ref = calc.run()
+        res = calc.compute(backend="real", workers=workers)
+        assert res.checks is not None
+        assert res.checks.ok
+        assert res.checks.races == []
+        assert res.checks.ordering is not None
+        assert res.checks.ordering.ok
+        assert res.checks.intents_recorded > 0
+        assert res.energy == pytest.approx(ref.energy, rel=1e-10)
+
+    def test_unchecked_run_has_no_report(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CHECKS", raising=False)
+        calc = PolarizationEnergyCalculator(protein_blob(120, seed=7))
+        res = calc.compute(backend="real", workers=2)
+        assert res.checks is None

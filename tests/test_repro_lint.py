@@ -1,0 +1,165 @@
+"""repro-lint: rule firing, suppression, scoping, CLI contract.
+
+Acceptance criteria covered here: ``python -m repro.lint src/`` exits 0 on
+the repo at merge, and exits non-zero on each ``tests/lint_fixtures/``
+bad-example file (one fixture per REPxxx rule).
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis_static.linter import lint_paths, lint_source
+from repro.analysis_static.rules import (RULES, infer_roles,
+                                         suppressed_rules)
+
+REPO = Path(__file__).resolve().parent.parent
+FIXTURES = REPO / "tests" / "lint_fixtures"
+SRC = REPO / "src"
+
+EXPECTED = {
+    "REP001": FIXTURES / "bad_rep001.py",
+    "REP002": FIXTURES / "bad_rep002.py",
+    "REP003": FIXTURES / "bad_rep003.py",
+    "REP004": FIXTURES / "bad_rep004.py",
+    "REP005": FIXTURES / "bad_rep005.py",
+}
+
+
+def run_cli(*args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, "-m", "repro.lint", *args],
+        capture_output=True, text=True, cwd=REPO,
+        env={"PYTHONPATH": str(SRC), "PATH": "/usr/bin:/bin"})
+
+
+class TestRuleCatalogue:
+    def test_five_rules_shipped(self):
+        assert sorted(RULES) == ["REP001", "REP002", "REP003", "REP004",
+                                 "REP005"]
+
+    def test_every_rule_has_a_hint(self):
+        for rule in RULES.values():
+            assert rule.hint and rule.title
+
+
+class TestFixtures:
+    @pytest.mark.parametrize("rule_id", sorted(EXPECTED))
+    def test_each_fixture_fires_only_its_rule(self, rule_id):
+        findings = lint_paths([EXPECTED[rule_id]])
+        assert findings, f"{rule_id} fixture produced no findings"
+        assert {f.rule for f in findings} == {rule_id}
+
+    @pytest.mark.parametrize("rule_id", sorted(EXPECTED))
+    def test_cli_exits_nonzero_on_each_fixture(self, rule_id):
+        proc = run_cli(str(EXPECTED[rule_id]))
+        assert proc.returncode == 1
+        assert rule_id in proc.stdout
+
+    def test_findings_carry_location_and_hint(self):
+        f = lint_paths([EXPECTED["REP001"]])[0]
+        assert f.line > 0
+        assert str(EXPECTED["REP001"].name) in f.path
+        assert f.hint == RULES["REP001"].hint
+        assert f"{f.path}:{f.line}" in f.format()
+
+    def test_clean_near_miss_file(self):
+        assert lint_paths([FIXTURES / "good_clean.py"]) == []
+
+
+class TestRepoIsClean:
+    def test_src_tree_clean(self):
+        findings = lint_paths([SRC])
+        assert findings == [], "\n".join(f.format() for f in findings)
+
+    def test_cli_exit_zero_on_src(self):
+        proc = run_cli("src/")
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "clean" in proc.stdout
+
+
+class TestSuppression:
+    def test_disable_comment_silences_one_rule(self):
+        src = ("# repro-lint: roles=numeric\n"
+               "d = {'a': 1.0}\n"
+               "t = sum(d.values())  # repro-lint: disable=REP001\n")
+        assert lint_source(src, "x.py") == []
+
+    def test_disable_all(self):
+        src = ("# repro-lint: roles=numeric\n"
+               "t = sum(set([1.0]))  # repro-lint: disable=all\n")
+        assert lint_source(src, "x.py") == []
+
+    def test_wrong_rule_id_does_not_silence(self):
+        src = ("# repro-lint: roles=numeric\n"
+               "t = sum(set([1.0]))  # repro-lint: disable=REP005\n")
+        assert [f.rule for f in lint_source(src, "x.py")] == ["REP001"]
+
+    def test_suppressed_rules_parser(self):
+        assert suppressed_rules("x = 1  # repro-lint: disable=REP001,REP002"
+                                ) == {"REP001", "REP002"}
+        assert suppressed_rules("x = 1") == frozenset()
+
+
+class TestScoping:
+    def test_role_inference_from_paths(self):
+        roles = infer_roles("src/repro/parallel/simmpi/engine.py")
+        assert {"parallel", "simtime", "numeric"} <= roles
+        roles = infer_roles("src/repro/parallel/procpool/shm.py")
+        assert "procpool" in roles
+        assert "procpool" not in infer_roles("src/repro/core/energy.py")
+
+    def test_reduction_homes_exempt_from_rep002(self):
+        src = "import numpy as np\nr = np.stack(vals).sum(axis=0)\n"
+        home = "src/repro/parallel/simmpi/collectives.py"
+        elsewhere = "src/repro/parallel/elsewhere.py"
+        assert lint_source(src, home) == []
+        assert [f.rule for f in lint_source(src, elsewhere)] == ["REP002"]
+
+    def test_wallclock_fine_outside_simtime(self):
+        src = "import time\nt = time.perf_counter()\n"
+        assert lint_source(src, "src/repro/parallel/procpool/runner.py") \
+            == []
+        assert [f.rule for f in
+                lint_source(src, "src/repro/parallel/cilk/scheduler.py")] \
+            == ["REP003"]
+
+    def test_multiprocessing_allowed_in_procpool(self):
+        src = "from multiprocessing import shared_memory\n"
+        assert lint_source(src, "src/repro/parallel/procpool/shm.py") == []
+        assert [f.rule for f in
+                lint_source(src, "src/repro/octree/build.py")] == ["REP004"]
+
+
+class TestCLI:
+    def test_json_output_schema(self):
+        proc = run_cli(str(EXPECTED["REP003"]), "--format", "json")
+        assert proc.returncode == 1
+        payload = json.loads(proc.stdout)
+        assert payload["count"] == len(payload["findings"]) > 0
+        first = payload["findings"][0]
+        assert {"rule", "path", "line", "col", "message",
+                "hint"} <= set(first)
+
+    def test_rules_filter(self):
+        proc = run_cli(str(EXPECTED["REP001"]), "--rules", "REP004")
+        assert proc.returncode == 0  # REP001 fixture has no REP004 issue
+
+    def test_unknown_rule_rejected(self):
+        proc = run_cli("--rules", "REP999")
+        assert proc.returncode == 2
+
+    def test_list_rules(self):
+        proc = run_cli("--list-rules")
+        assert proc.returncode == 0
+        for rule_id in RULES:
+            assert rule_id in proc.stdout
+
+    def test_syntax_error_reported_not_crash(self):
+        findings = lint_source("def broken(:\n", "x.py")
+        assert findings and findings[0].rule == "REP000"

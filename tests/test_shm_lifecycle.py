@@ -1,0 +1,137 @@
+"""Lifecycle edge cases for procpool shared-memory plumbing.
+
+Covers the satellite checklist: ``_keep_mapped`` close-disarm (including
+under interpreter shutdown with exported views alive), double-``unlink``
+safety, and the zero-overhead contract when the race detector is off.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.parallel.procpool.shm import (ScratchBuffer, SharedArrayBundle,
+                                         _keep_mapped)
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+class TestKeepMapped:
+    def test_close_disarmed_with_exported_views(self):
+        owner = SharedArrayBundle.create({"x": np.arange(6.0)})
+        try:
+            worker = SharedArrayBundle.attach(owner.name, owner.layout)
+            view = worker.view("x")  # exported pointer into the mmap
+            # attach() disarms close: this must not raise BufferError even
+            # though `view` still points into the buffer.
+            worker.close()
+            assert view[3] == 3.0  # mapping still alive
+        finally:
+            owner.close()
+            owner.unlink()
+
+    def test_owner_close_still_real(self):
+        owner = SharedArrayBundle.create({"x": np.zeros(4)})
+        owner.unlink()
+        owner.close()  # owner side keeps the real close()
+        with pytest.raises((ValueError, TypeError)):
+            owner.view("x")  # buffer gone
+
+    def test_interpreter_shutdown_with_live_views(self):
+        """A worker process that exits with module-level views into an
+        attached segment must die cleanly (no BufferError on __del__)."""
+        owner = SharedArrayBundle.create({"x": np.arange(8.0)})
+        try:
+            script = textwrap.dedent(f"""
+                from repro.parallel.procpool.shm import (SharedArrayBundle,
+                                                         _ArraySpec)
+                layout = {owner.layout!r}
+                bundle = SharedArrayBundle.attach({owner.name!r}, layout)
+                keep = bundle.view("x")  # lives until interpreter death
+                assert keep[2] == 2.0
+            """)
+            env = dict(os.environ, PYTHONPATH=str(REPO / "src"))
+            proc = subprocess.run([sys.executable, "-c", script],
+                                  capture_output=True, text=True, env=env)
+            assert proc.returncode == 0, proc.stderr
+            assert "BufferError" not in proc.stderr
+        finally:
+            owner.close()
+            owner.unlink()
+
+    def test_keep_mapped_is_idempotent(self):
+        owner = SharedArrayBundle.create({"x": np.zeros(2)})
+        try:
+            worker = SharedArrayBundle.attach(owner.name, owner.layout)
+            _keep_mapped(worker._shm)  # second disarm: harmless
+            worker.close()
+            worker.close()
+        finally:
+            owner.close()
+            owner.unlink()
+
+
+class TestDoubleUnlink:
+    def test_bundle_double_unlink_safe(self):
+        bundle = SharedArrayBundle.create({"x": np.zeros(4)})
+        bundle.unlink()
+        bundle.unlink()  # second unlink: no FileNotFoundError
+        bundle.close()
+
+    def test_scratch_double_unlink_safe(self):
+        scratch = ScratchBuffer.create(2, 4)
+        scratch.unlink()
+        scratch.unlink()
+        scratch.close()
+
+    def test_nonowner_unlink_is_noop(self):
+        owner = SharedArrayBundle.create({"x": np.zeros(4)})
+        try:
+            worker = SharedArrayBundle.attach(owner.name, owner.layout)
+            worker.unlink()  # non-owner: must not tear down the segment
+            check = SharedArrayBundle.attach(owner.name, owner.layout)
+            assert check.view("x").shape == (4,)
+            check.close()
+            worker.close()
+        finally:
+            owner.close()
+            owner.unlink()
+
+
+class TestZeroOverheadDisabled:
+    """Regression: with the race detector off, the shm classes allocate
+    no shadow state and hand out base ndarrays."""
+
+    def test_bundle_no_shadow_state(self):
+        bundle = SharedArrayBundle.create({"x": np.zeros(8)})
+        try:
+            assert bundle._tracker is None
+            v1 = bundle.view("x")
+            assert type(v1) is np.ndarray
+            v1[2:4] = 1.0  # plain ndarray write path, nothing recorded
+            del v1  # drop the exported pointer before close()
+        finally:
+            bundle.close()
+            bundle.unlink()
+
+    def test_scratch_no_shadow_state(self):
+        scratch = ScratchBuffer.create(3, 4)
+        try:
+            assert type(scratch.lengths) is np.ndarray
+            assert type(scratch.slots) is np.ndarray
+            scratch.lengths[1] = 2
+            scratch.slots[1, :2] = [1.0, 2.0]
+        finally:
+            scratch.close()
+            scratch.unlink()
+
+    def test_unchecked_backend_has_no_tracker(self):
+        from repro.parallel.procpool.backend import SerialBackend
+        backend = SerialBackend()
+        assert not hasattr(backend, "_tracker")
