@@ -86,6 +86,20 @@ def _run_backend(args: argparse.Namespace) -> int:
         print(f"  speedup P={args.workers} vs P=1: {speedup:.2f}x "
               f"({os.cpu_count()} cores visible)")
 
+    # Interaction-plan statistics: row/pair counts, tile shape histogram,
+    # predicted rank imbalance at the benchmarked worker count, and the
+    # cache's hit/miss tally across the runs above.
+    record["plan"] = calc.plan_stats(nparts=args.workers)
+    stats = record["plan"]
+    print(f"  plan: born {stats['born']['rows']} rows / "
+          f"{stats['born']['exact_pairs']} exact pairs, "
+          f"epol {stats['epol']['rows']} rows; "
+          f"imbalance@P={args.workers}: "
+          f"born {stats['born']['imbalance']:.3f}, "
+          f"epol {stats['epol']['imbalance']:.3f}; "
+          f"cache {stats['cache']['hits']} hits / "
+          f"{stats['cache']['misses']} misses")
+
     e1 = energies[worker_counts[0]]
     drift = max(abs(energies[P] - e1) for P in worker_counts)
     rel = drift / abs(e1) if e1 else drift

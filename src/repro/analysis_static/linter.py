@@ -238,7 +238,7 @@ class _Visitor(ast.NodeVisitor):
                            f"explicit dtype {leaf!r} in an energy kernel "
                            "(contract is float64)")
 
-    # -- bare for-loop rank reductions (REP002) ------------------------
+    # -- bare for-loops (REP002 rank reductions, REP006 leaf loops) ----
     def visit_For(self, node: ast.For) -> None:
         if not is_reduction_home(self.path):
             bound = _range_rank_bound(node.iter)
@@ -248,7 +248,32 @@ class _Visitor(ast.NodeVisitor):
                     for stmt in ast.walk(node)):
                 self._emit("REP002", node,
                            f"manual accumulation loop over range({bound})")
+        self._check_leaf_loop(node)
         self.generic_visit(node)
+
+    def _check_leaf_loop(self, node: ast.For) -> None:
+        """REP006: per-element Python iteration over leaf data (or a
+        scalar-accumulation ``range`` loop) inside an executor module."""
+        idents = {n.id for n in ast.walk(node.iter)
+                  if isinstance(n, ast.Name)}
+        idents |= {a.attr for a in ast.walk(node.iter)
+                   if isinstance(a, ast.Attribute)}
+        leafy = any("leaf" in ident.lower() or "leaves" in ident.lower()
+                    for ident in idents)
+        accumulates = any(isinstance(stmt, ast.AugAssign)
+                          and isinstance(stmt.op, ast.Add)
+                          for stmt in ast.walk(node))
+        scalar_range = (isinstance(node.iter, ast.Call)
+                        and _call_name(node.iter.func) == "range"
+                        and accumulates)
+        if leafy:
+            self._emit("REP006", node,
+                       "per-element Python loop over leaf arrays in an "
+                       "executor module")
+        elif scalar_range:
+            self._emit("REP006", node,
+                       "scalar accumulation range-loop in an executor "
+                       "module")
 
 
 def lint_source(source: str, path: str = "<string>",

@@ -21,11 +21,11 @@ from pathlib import PurePosixPath
 #: Directories whose files do float accumulation that feeds energies.
 NUMERIC_DIRS = frozenset({
     "core", "octree", "surface", "baselines", "loadbalance", "parallel",
-    "experiments", "analysis",
+    "experiments", "analysis", "plan",
 })
 
 #: Directories holding the energy/Born kernels (dtype-drift sensitive).
-KERNEL_DIRS = frozenset({"core", "surface"})
+KERNEL_DIRS = frozenset({"core", "surface", "plan"})
 
 #: The only files allowed to implement cross-rank reductions directly.
 REDUCTION_HOME_FILES = (
@@ -96,6 +96,16 @@ RULES: dict[str, Rule] = {r.id: r for r in (
               "bit-compatibility contract); drop the narrower dtype or "
               "cast at the boundary, not inside the kernel"),
     ),
+    Rule(
+        id="REP006",
+        title="per-element Python loop over leaf arrays in an executor",
+        roles=frozenset({"executor"}),
+        hint=("plan executors are batched: gather plan rows into "
+              "bucketed/padded arrays and issue one vectorised NumPy call "
+              "per bucket; a per-leaf (or per-row scalar-accumulation) "
+              "Python loop reintroduces exactly the interpreter overhead "
+              "the plan/execute split removes"),
+    ),
 )}
 
 
@@ -113,6 +123,8 @@ def infer_roles(path: str) -> frozenset[str]:
         roles.add("numeric")
     if parts & KERNEL_DIRS:
         roles.add("kernel")
+    if "plan" in parts:
+        roles.add("executor")
     return frozenset(roles)
 
 

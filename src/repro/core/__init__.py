@@ -2,14 +2,15 @@
 
 from .binning import BornBinning, build_binning
 from .born import (AtomTreeData, BornPartial, QuadTreeData, approx_integrals,
-                   born_radii_octree, push_integrals_to_atoms)
+                   approx_integrals_perleaf, born_radii_octree,
+                   push_integrals_to_atoms)
 from .counting import (count_born_work, count_epol_work,
                        shell_surface_points)
 from .driver import (EpolResult, PolarizationEnergyCalculator,
                      compute_polarization_energy)
 from .dualtree import dual_tree_born_radii, dual_tree_integrals
 from .energy import (EnergyContext, EpolPartial, approx_epol,
-                     epol_from_pair_sum, epol_octree)
+                     approx_epol_perleaf, epol_from_pair_sum, epol_octree)
 from .error import ErrorSummary, percent_error, radii_relative_error
 from .gbmodels import (f_gb, hct_born_radii, hct_descreening_integral,
                        obc_born_radii, still_volume_born_radii)
@@ -32,7 +33,9 @@ __all__ = [
     "PolarizationEnergyCalculator",
     "QuadTreeData",
     "approx_epol",
+    "approx_epol_perleaf",
     "approx_integrals",
+    "approx_integrals_perleaf",
     "born_radii_octree",
     "born_radius_from_integral",
     "build_binning",

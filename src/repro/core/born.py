@@ -17,7 +17,7 @@ the paper's claim that node-based division has P-independent error.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -63,7 +63,7 @@ class QuadTreeData:
     sorted_normals: np.ndarray
     sorted_weights: np.ndarray
     #: Per-node ``ñ_Q = sum_q w_q n_q`` (paper Fig. 2 preamble).
-    node_pseudo_normals: np.ndarray = field(default=None)  # type: ignore[assignment]
+    node_pseudo_normals: np.ndarray
 
     @classmethod
     def build(cls, surface: SurfaceQuadrature, *, leaf_cap: int) -> "QuadTreeData":
@@ -124,6 +124,33 @@ def approx_integrals(atoms: AtomTreeData, quad: QuadTreeData,
                      power: int = 6,
                      per_leaf: list[WorkCounters] | None = None) -> BornPartial:
     """Run APPROX-INTEGRALS for the given segment of Q leaves.
+
+    Default entry point: builds an interaction plan for the segment and
+    executes it batched (:mod:`repro.plan`) -- bit-identical to
+    :func:`approx_integrals_perleaf`, which remains as the reference the
+    differential tests compare against.  Callers holding a cached
+    whole-tree plan should slice it with
+    :func:`repro.plan.execute_born_plan` directly instead.
+    """
+    # Imported lazily: repro.plan imports this module for the tree bundles.
+    from ..plan import build_born_plan, execute_born_plan
+    plan = build_born_plan(atoms, quad, eps, disable_far=disable_far,
+                           mac_variant=mac_variant, power=power,
+                           q_leaves=np.asarray(q_leaves, dtype=np.int64))
+    return execute_born_plan(plan, atoms, quad, per_leaf=per_leaf)
+
+
+def approx_integrals_perleaf(atoms: AtomTreeData, quad: QuadTreeData,
+                             q_leaves: np.ndarray, eps: float, *,
+                             disable_far: bool = False,
+                             mac_variant: str = "practical",
+                             power: int = 6,
+                             per_leaf: list[WorkCounters] | None = None
+                             ) -> BornPartial:
+    """Reference per-leaf APPROX-INTEGRALS (one walk + one tile per leaf).
+
+    The plan executor reproduces this loop bit for bit; it stays as the
+    differential baseline and as the readable transcription of Fig. 2.
 
     Parameters
     ----------

@@ -26,7 +26,7 @@ from ..runtime.instrument import WorkCounters
 from ..surface.sas import SurfaceQuadrature, build_surface
 from .born import (AtomTreeData, BornPartial, QuadTreeData, approx_integrals,
                    push_integrals_to_atoms)
-from .energy import (EnergyContext, approx_epol, epol_from_pair_sum)
+from .energy import EnergyContext, epol_from_pair_sum
 from .error import percent_error
 from .naive import naive_reference
 from .params import ApproximationParams
@@ -106,6 +106,7 @@ class PolarizationEnergyCalculator:
     _born_sorted: np.ndarray | None = field(default=None, repr=False)
     _born_counters: WorkCounters | None = field(default=None, repr=False)
     _profile: RunProfile | None = field(default=None, repr=False)
+    _plan_cache: object | None = field(default=None, repr=False)
 
     # ------------------------------------------------------------------
     # prepared state
@@ -132,19 +133,78 @@ class PolarizationEnergyCalculator:
         return self._quad
 
     # ------------------------------------------------------------------
+    # interaction plans
+    # ------------------------------------------------------------------
+    def plan_cache(self):
+        """The calculator's :class:`~repro.plan.cache.PlanCache` (lazy)."""
+        from ..plan import PlanCache
+        if self._plan_cache is None:
+            self._plan_cache = PlanCache()
+        return self._plan_cache
+
+    def born_plan(self, eps: float | None = None, *,
+                  disable_far: bool = False):
+        """The cached whole-tree Born interaction plan for ``eps``
+        (default: ``params.eps_born``)."""
+        from ..plan import build_born_plan
+        from ..plan.cache import born_key
+        eps = self.params.eps_born if eps is None else float(eps)
+        variant = self.params.born_mac_variant
+        key = born_key(eps, mac_variant=variant, disable_far=disable_far)
+        return self.plan_cache().get_or_build(
+            key, lambda: build_born_plan(self.atom_tree(), self.quad_tree(),
+                                         eps, disable_far=disable_far,
+                                         mac_variant=variant))
+
+    def epol_plan(self, eps: float | None = None, *,
+                  disable_far: bool = False):
+        """The cached whole-tree energy interaction plan for ``eps``
+        (default: ``params.eps_epol``).  Reused across the Fig. 10
+        epsilon sweep -- the plan depends on the tree and ``eps`` only."""
+        from ..plan import build_epol_plan
+        from ..plan.cache import epol_key
+        eps = self.params.eps_epol if eps is None else float(eps)
+        key = epol_key(eps, disable_far=disable_far)
+        return self.plan_cache().get_or_build(
+            key, lambda: build_epol_plan(self.atom_tree(), eps,
+                                         disable_far=disable_far))
+
+    def plans(self):
+        """Both default-configuration plans as a
+        :class:`~repro.plan.schema.PlanSet` (what the process-parallel
+        backend publishes to its workers)."""
+        from ..plan import PlanSet
+        return PlanSet(born=self.born_plan(), epol=self.epol_plan())
+
+    def plan_stats(self, *, nparts: int = 1, nbins: int = 0) -> dict:
+        """JSON-ready statistics of the cached default plans (near/far
+        pair counts, tile histogram, per-rank imbalance, build timings)."""
+        from ..plan import plan_stats as _plan_stats
+        return {
+            "born": _plan_stats(self.born_plan(), nparts=nparts),
+            "epol": _plan_stats(self.epol_plan(), nparts=nparts,
+                                nbins=nbins),
+            "cache": self.plan_cache().stats(),
+        }
+
+    # ------------------------------------------------------------------
     # phases
     # ------------------------------------------------------------------
     def profile(self) -> RunProfile:
         """Execute the full pipeline once, capturing per-leaf work profiles
-        (cached; see :class:`RunProfile`)."""
+        (cached; see :class:`RunProfile`).
+
+        Plan-based: the cached whole-tree plans are built (or reused) and
+        executed batched; per-leaf counters are synthesised from the plan
+        rows -- integer-exact matches of what the per-leaf loops count.
+        """
         if self._profile is None:
+            from ..plan import execute_born_plan, execute_epol_plan
             atoms = self.atom_tree()
             quad = self.quad_tree()
             born_per_leaf: list[WorkCounters] = []
-            partial = approx_integrals(atoms, quad, quad.tree.leaves,
-                                       self.params.eps_born,
-                                       mac_variant=self.params.born_mac_variant,
-                                       per_leaf=born_per_leaf)
+            partial = execute_born_plan(self.born_plan(), atoms, quad,
+                                        per_leaf=born_per_leaf)
             born_sorted = push_integrals_to_atoms(
                 atoms, partial,
                 max_radius=2.0 * self.molecule.bounding_radius)
@@ -153,9 +213,8 @@ class PolarizationEnergyCalculator:
             ectx = EnergyContext.build(atoms, born_sorted,
                                        self.params.eps_epol)
             energy_per_leaf: list[WorkCounters] = []
-            epartial = approx_epol(ectx, atoms.tree.leaves,
-                                   self.params.eps_epol,
-                                   per_leaf=energy_per_leaf)
+            epartial = execute_epol_plan(self.epol_plan(), ectx,
+                                         per_leaf=energy_per_leaf)
             self._profile = RunProfile(
                 born_per_leaf=born_per_leaf,
                 energy_per_leaf=energy_per_leaf,

@@ -89,6 +89,28 @@ def approx_epol(ctx: EnergyContext, v_leaves: np.ndarray,
                 per_leaf: list[WorkCounters] | None = None) -> EpolPartial:
     """Run APPROX-EPOL for the given segment of atoms-tree leaves.
 
+    Default entry point: builds an interaction plan for the segment and
+    executes it batched (:mod:`repro.plan`) -- bit-identical to
+    :func:`approx_epol_perleaf`, the reference loop the differential
+    tests compare against.  Callers holding a cached whole-tree plan
+    should slice it with :func:`repro.plan.execute_epol_plan` directly.
+    """
+    # Imported lazily: repro.plan imports this module for EnergyContext.
+    from ..plan import build_epol_plan, execute_epol_plan
+    plan = build_epol_plan(ctx.atoms, eps, disable_far=disable_far,
+                           v_leaves=np.asarray(v_leaves, dtype=np.int64))
+    return execute_epol_plan(plan, ctx, per_leaf=per_leaf)
+
+
+def approx_epol_perleaf(ctx: EnergyContext, v_leaves: np.ndarray,
+                        eps: float, *, disable_far: bool = False,
+                        per_leaf: list[WorkCounters] | None = None
+                        ) -> EpolPartial:
+    """Reference per-leaf APPROX-EPOL (one walk + one tile batch per leaf).
+
+    The plan executor reproduces this loop bit for bit; it stays as the
+    differential baseline and as the readable transcription of Fig. 3.
+
     Returns the raw pair sum (no dielectric prefactor); see
     :func:`epol_from_pair_sum`.  ``disable_far`` forces the exact path for
     every node pair (the MAC would otherwise accept zero-radius pairs at

@@ -17,12 +17,13 @@ from __future__ import annotations
 import numpy as np
 
 from ..config import DEFAULT_SEED
-from ..core.energy import EnergyContext, approx_epol, epol_from_pair_sum
+from ..core.energy import EnergyContext, epol_from_pair_sum
 from ..core.error import ErrorSummary, percent_error
 from ..core.params import ApproximationParams
 from ..parallel.cost import CostModel
 from ..parallel.hybrid import _thread_phase_seconds
 from ..octree.partition import segment_leaf_bounds
+from ..plan import execute_epol_plan
 from ..runtime.instrument import WorkCounters
 from .common import (ExperimentResult, calculator_for, naive_for,
                      suite_molecules)
@@ -68,9 +69,12 @@ def run(*, quick: bool = True, seed: int = DEFAULT_SEED,
         t_born = _hybrid_phase_time(born_secs, q_bounds, cost, seed)
         for eps in epsilons:
             ectx = EnergyContext.build(atoms, prof.born_sorted, eps)
+            # The calculator's plan cache holds one epol plan per eps, so
+            # re-running the sweep (or sharing eps values across figures)
+            # never re-traverses the tree.
+            plan = calc.epol_plan(eps)
             per_leaf: list[WorkCounters] = []
-            partial = approx_epol(ectx, atoms.tree.leaves, eps,
-                                  per_leaf=per_leaf)
+            partial = execute_epol_plan(plan, ectx, per_leaf=per_leaf)
             energy = epol_from_pair_sum(
                 partial.pair_sum,
                 epsilon_solvent=calc.params.epsilon_solvent)

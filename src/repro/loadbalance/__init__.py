@@ -1,18 +1,20 @@
 """Work-division schemes of Section IV.A and their diagnostics."""
 
 from .analysis import DivisionComparison, compare_runs, energy_spread
-from .schemes import (ATOM_ATOM, NODE_NODE, DivisionRun,
+from .schemes import (ATOM_ATOM, NODE_NODE, NODE_PLAN, DivisionRun,
                       division_error_stability, epol_atom_division,
-                      epol_node_division)
+                      epol_node_division, epol_plan_division)
 
 __all__ = [
     "ATOM_ATOM",
     "DivisionComparison",
     "DivisionRun",
     "NODE_NODE",
+    "NODE_PLAN",
     "compare_runs",
     "division_error_stability",
     "energy_spread",
     "epol_atom_division",
     "epol_node_division",
+    "epol_plan_division",
 ]

@@ -37,6 +37,9 @@ from ..runtime.instrument import WorkCounters
 #: Scheme identifiers of Section IV.A.
 NODE_NODE = "node-node"
 ATOM_ATOM = "atom-atom"
+#: Plan-driven variant of node-based division: same whole-leaf targets,
+#: but ranks cut cached interaction-plan rows by exact pair counts.
+NODE_PLAN = "node-plan"
 
 
 @dataclass
@@ -66,6 +69,37 @@ def epol_node_division(ctx: EnergyContext, nparts: int, eps: float,
         per_rank[rank] = partial.counters.exact_pairs
         counters.add(partial.counters)
     return DivisionRun(NODE_NODE, nparts,
+                       epol_from_pair_sum(total, epsilon_solvent=epsilon_solvent),
+                       counters, per_rank)
+
+
+def epol_plan_division(ctx: EnergyContext, nparts: int, eps: float,
+                       epsilon_solvent: float, *,
+                       plan=None) -> DivisionRun:
+    """Node-based division over cached interaction-plan rows.
+
+    Same whole-leaf targets as :func:`epol_node_division` -- so the MAC
+    decisions, and hence the energy, are exactly ``P``-independent -- but
+    ranks are assigned contiguous *plan-row* segments cut by the plan's
+    exact per-row pair counts instead of a point-count proxy, and each
+    rank's work is a batched executor call over its row range.
+    """
+    from ..octree.partition import segment_by_weight
+    from ..plan import build_epol_plan, execute_epol_plan
+
+    if plan is None:
+        plan = build_epol_plan(ctx.atoms, eps)
+    bounds = segment_by_weight(
+        plan.row_pair_weights(nbins=ctx.binning.nbins), nparts)
+    total = 0.0
+    counters = WorkCounters()
+    per_rank = np.zeros(nparts)
+    for rank, (lo, hi) in enumerate(bounds):
+        partial = execute_epol_plan(plan, ctx, row_range=(lo, hi))
+        total += partial.pair_sum
+        per_rank[rank] = partial.counters.exact_pairs
+        counters.add(partial.counters)
+    return DivisionRun(NODE_PLAN, nparts,
                        epol_from_pair_sum(total, epsilon_solvent=epsilon_solvent),
                        counters, per_rank)
 

@@ -34,11 +34,10 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..core.born import AtomTreeData, BornPartial, QuadTreeData, approx_integrals
+from ..core.born import AtomTreeData, BornPartial, QuadTreeData
 from ..core.driver import PolarizationEnergyCalculator
-from ..octree.mac import born_mac_multiplier
-from ..octree.partition import segment_leaf_bounds
-from ..octree.traversal import classify_against_ball
+from ..octree.partition import segment_by_weight, segment_leaf_bounds
+from ..plan import InteractionPlan, build_born_plan, execute_born_plan
 
 #: Bytes per quadrature point (position + normal + weight) and per atom
 #: (position + radius + charge) in the exchanged payloads.
@@ -53,16 +52,21 @@ class HaloPlan:
     Attributes
     ----------
     owner_of_atom_leaf / owner_of_q_leaf:
-        Rank owning each leaf (by the cost-balanced segment bounds).
+        Rank owning each leaf (by the plan-weighted segment bounds).
     needed_atom_leaves:
         Per rank, the sorted ids of *atom-tree* leaves its assigned
         Q-leaf traversals touch in the near field (its halo, including
         the leaves it owns itself).
+    q_bounds:
+        The Q-leaf (plan-row) segment bounds the ownership derives from
+        -- exact per-row pair counts, the same cuts the executing
+        backends use, so halo accounting and work division agree.
     """
 
     owner_of_atom_leaf: np.ndarray
     owner_of_q_leaf: np.ndarray
     needed_atom_leaves: list[np.ndarray]
+    q_bounds: tuple[tuple[int, int], ...]
 
 
 @dataclass(frozen=True)
@@ -99,28 +103,34 @@ def _leaf_owner(bounds: list[tuple[int, int]], nleaves: int) -> np.ndarray:
 
 
 def plan_halos(atoms: AtomTreeData, quad: QuadTreeData, eps: float, *,
-               nranks: int, mac_variant: str = "practical") -> HaloPlan:
-    """Classify every rank's Q leaves and record which atom leaves its
-    near field touches."""
+               nranks: int, mac_variant: str = "practical",
+               plan: InteractionPlan | None = None) -> HaloPlan:
+    """Record which atom leaves each rank's near field touches.
+
+    The near-leaf lists come straight from the interaction plan's CSR
+    rows (no re-traversal): a rank's halo is the union of ``near_leaves``
+    over its plan-row segment.  Pass ``plan`` to reuse a cached one.
+    """
     a_tree = atoms.tree
     q_tree = quad.tree
-    mult = born_mac_multiplier(eps, variant=mac_variant)
-    q_bounds = segment_leaf_bounds(q_tree, nranks)
+    if plan is None:
+        plan = build_born_plan(atoms, quad, eps, mac_variant=mac_variant)
+    q_bounds = segment_by_weight(plan.row_pair_weights(), nranks)
     a_bounds = segment_leaf_bounds(a_tree, nranks)
-    leaf_index = {int(v): i for i, v in enumerate(a_tree.leaves)}
+    # Leaf node id -> position in the leaf list (halo sets use positions).
+    pos_of_node = np.full(a_tree.nnodes, -1, dtype=np.int64)
+    pos_of_node[a_tree.leaves] = np.arange(len(a_tree.leaves),
+                                           dtype=np.int64)
     needed: list[np.ndarray] = []
     for lo, hi in q_bounds:
-        touched: set[int] = set()
-        for leaf in q_tree.leaves[lo:hi]:
-            cls = classify_against_ball(
-                a_tree, q_tree.ball_center[leaf],
-                float(q_tree.ball_radius[leaf]), mult)
-            touched.update(leaf_index[int(v)] for v in cls.near_leaves)
-        needed.append(np.array(sorted(touched), dtype=np.int64))
+        row_leaves = plan.near_leaves[plan.near_leaf_start[lo]:
+                                      plan.near_leaf_start[hi]]
+        needed.append(np.unique(pos_of_node[row_leaves]))
     return HaloPlan(
         owner_of_atom_leaf=_leaf_owner(a_bounds, len(a_tree.leaves)),
         owner_of_q_leaf=_leaf_owner(q_bounds, len(q_tree.leaves)),
         needed_atom_leaves=needed,
+        q_bounds=tuple((int(lo), int(hi)) for lo, hi in q_bounds),
     )
 
 
@@ -134,7 +144,8 @@ def analyze_distribution(calc: PolarizationEnergyCalculator, *,
     quad = calc.quad_tree()
     surface = calc.prepare_surface()
     plan = plan_halos(atoms, quad, calc.params.eps_born, nranks=nranks,
-                      mac_variant=calc.params.born_mac_variant)
+                      mac_variant=calc.params.born_mac_variant,
+                      plan=calc.born_plan())
 
     a_tree = atoms.tree
     q_tree = quad.tree
@@ -145,7 +156,7 @@ def analyze_distribution(calc: PolarizationEnergyCalculator, *,
     skeleton = int((a_tree.nbytes() - a_tree.points.nbytes)
                    + (q_tree.nbytes() - q_tree.points.nbytes))
 
-    q_bounds = segment_leaf_bounds(q_tree, nranks)
+    q_bounds = plan.q_bounds
     owned = np.zeros(nranks)
     halo = np.zeros(nranks)
     messages = 0
@@ -175,18 +186,20 @@ def analyze_distribution(calc: PolarizationEnergyCalculator, *,
 
 def born_partial_from_halo(atoms: AtomTreeData, quad: QuadTreeData,
                            eps: float, rank: int, nranks: int, *,
-                           mac_variant: str = "practical") -> BornPartial:
+                           mac_variant: str = "practical",
+                           plan: InteractionPlan | None = None
+                           ) -> BornPartial:
     """One rank's Born partial computed *as if* only its segment + halo
     were resident.
 
     The kernels index the same arrays (Python has no address-space
-    boundary to enforce), but the traversal is restricted to exactly the
-    leaves the halo plan grants -- so a mismatch between plan and need
+    boundary to enforce), but execution is restricted to exactly the
+    plan rows the halo plan grants -- so a mismatch between halo and need
     would fail loudly in tests rather than silently touching "remote"
     memory.  Energies match the replicated run to rounding, which is the
     invariant that makes data distribution a pure memory/traffic trade.
     """
-    q_bounds = segment_leaf_bounds(quad.tree, nranks)
-    lo, hi = q_bounds[rank]
-    return approx_integrals(atoms, quad, quad.tree.leaves[lo:hi], eps,
-                            mac_variant=mac_variant)
+    if plan is None:
+        plan = build_born_plan(atoms, quad, eps, mac_variant=mac_variant)
+    lo, hi = segment_by_weight(plan.row_pair_weights(), nranks)[rank]
+    return execute_born_plan(plan, atoms, quad, row_range=(lo, hi))

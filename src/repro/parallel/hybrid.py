@@ -29,10 +29,12 @@ from typing import Any, Generator
 
 import numpy as np
 
-from ..core.born import BornPartial, approx_integrals, push_integrals_to_atoms
+from ..core.born import BornPartial, push_integrals_to_atoms
 from ..core.driver import PolarizationEnergyCalculator, RunProfile
-from ..core.energy import EnergyContext, approx_epol, epol_from_pair_sum
-from ..octree.partition import segment_leaf_bounds, segment_range
+from ..core.energy import EnergyContext, epol_from_pair_sum
+from ..octree.partition import (segment_by_weight, segment_leaf_bounds,
+                                segment_range)
+from ..plan import execute_born_plan, execute_epol_plan
 from ..runtime.instrument import WorkCounters
 from .cilk.scheduler import simulate_work_stealing
 from .cost import CostModel, MemoryModel
@@ -260,6 +262,7 @@ def run_parallel(calc: PolarizationEnergyCalculator, layout: RankLayout,
     prep = _prepare(calc, layout, config)
     cost = prep.cost
     profile: RunProfile | None = calc.profile() if numerics == "cached" else None
+    plans = None
     if profile is not None:
         born_secs_all = np.array([cost.compute_seconds(c)
                                   for c in profile.born_per_leaf])
@@ -268,9 +271,14 @@ def run_parallel(calc: PolarizationEnergyCalculator, layout: RankLayout,
         # With profiled costs in hand, "divide the work as evenly as
         # possible" (Fig. 4) means cost-even contiguous segments, not
         # merely point-count-even ones.
-        from ..octree.partition import segment_by_weight
         prep.q_bounds = segment_by_weight(born_secs_all, P)
         prep.v_bounds = segment_by_weight(energy_secs_all, P)
+    else:
+        # Full numerics executes slices of the calculator's cached plans,
+        # divided by exact per-row pair counts -- the same bounds the real
+        # process backend cuts (rank_program), so sim and real agree.
+        plans = calc.plans()
+        prep.q_bounds = segment_by_weight(plans.born.row_pair_weights(), P)
 
     def program(ctx: RankContext) -> Generator[Any, Any, dict[str, Any]]:
         rank = ctx.rank
@@ -298,8 +306,9 @@ def run_parallel(calc: PolarizationEnergyCalculator, layout: RankLayout,
         qs, qe = prep.q_bounds[rank]
         if profile is None:
             per_leaf: list[WorkCounters] = []
-            partial = approx_integrals(atoms, quad, quad.tree.leaves[qs:qe],
-                                       params.eps_born, per_leaf=per_leaf)
+            partial = execute_born_plan(plans.born, atoms, quad,
+                                        row_range=(qs, qe),
+                                        per_leaf=per_leaf)
             counters.add(partial.counters)
             leaf_secs = np.array([cost.compute_seconds(c) for c in per_leaf])
         else:
@@ -354,17 +363,24 @@ def run_parallel(calc: PolarizationEnergyCalculator, layout: RankLayout,
         phase_t["radii_comm"] = ctx.clock.now - t0
 
         # -- Step 6: energy over this rank's atoms-leaf segment.
-        vs, ve = prep.v_bounds[rank]
         if partial is not None:
             ectx = EnergyContext.build(atoms, born_sorted, params.eps_epol)
+            # Same exact-count division rank_program cuts: a pure function
+            # of the shared plan and the binning width, so every rank
+            # (and the real backend) derives identical bounds.
+            vs, ve = segment_by_weight(
+                plans.epol.row_pair_weights(nbins=ectx.binning.nbins),
+                P)[rank]
             per_leaf_e: list[WorkCounters] = []
-            epartial = approx_epol(ectx, atoms.tree.leaves[vs:ve],
-                                   params.eps_epol, per_leaf=per_leaf_e)
+            epartial = execute_epol_plan(plans.epol, ectx,
+                                         row_range=(vs, ve),
+                                         per_leaf=per_leaf_e)
             counters.add(epartial.counters)
             leaf_secs_e = np.array([cost.compute_seconds(c)
                                     for c in per_leaf_e])
             pair_sum = epartial.pair_sum
         else:
+            vs, ve = prep.v_bounds[rank]
             for c in profile.energy_per_leaf[vs:ve]:
                 counters.add(c)
             leaf_secs_e = energy_secs_all[vs:ve]
@@ -502,7 +518,6 @@ def simulate_layout_timing(born_leaf_seconds: np.ndarray,
     config = config or ParallelRunConfig()
     cost = (config.cost_model.with_approx_math()
             if config.approximate_math else config.cost_model)
-    from ..octree.partition import segment_by_weight
     from .simmpi.collectives import collective_cost
     P = layout.nranks
     p = layout.threads_per_rank

@@ -32,11 +32,14 @@ from ...analysis_static.ordering import CollectiveLog, diff_collective_logs
 from ...analysis_static.races import (WriteIntentTracker, find_races,
                                       intents_from_payload)
 from ...core.born import (AtomTreeData, BornPartial, QuadTreeData,
-                          approx_integrals, push_integrals_to_atoms)
-from ...core.energy import EnergyContext, approx_epol
+                          push_integrals_to_atoms)
+from ...core.energy import EnergyContext
 from ...core.params import ApproximationParams
 from ...molecule.molecule import Molecule
-from ...octree.partition import segment_leaf_bounds, segment_range
+from ...octree.partition import segment_by_weight, segment_range
+from ...plan import (InteractionPlan, PlanSet, build_born_plan,
+                     build_epol_plan, execute_born_plan, execute_epol_plan)
+from ...plan.schema import PLAN_ARRAY_FIELDS
 from ...runtime.instrument import WorkCounters
 from ...runtime.trace import Trace
 from ...surface.sas import SurfaceQuadrature
@@ -70,17 +73,22 @@ class RankReport:
 def rank_program(backend: ExecutionBackend, atoms: AtomTreeData,
                  quad: QuadTreeData, params: ApproximationParams, *,
                  max_radius: float,
-                 timer: Callable[[], float] = time.perf_counter
-                 ) -> RankReport:
+                 timer: Callable[[], float] = time.perf_counter,
+                 plans: PlanSet | None = None) -> RankReport:
     """One rank's share of Fig. 4, with wall-clock phase hooks.
 
-    Work division mirrors the simulated engine's full-numerics mode:
-    point-balanced contiguous Q-leaf segments for the Born phase, equal
-    atom ranges for the push, point-balanced V-leaf segments for the
-    energy phase.  The returned report carries the rank's pair-sum partial
-    result via ``events`` metadata-free channels: ``born_sorted`` and the
-    reduced pair sum are attached to the report as dynamic attributes by
-    the caller's contract (see below) -- kept out of the dataclass so the
+    Plan-driven: every rank executes its row slice of the *same*
+    interaction plans (built locally when not supplied -- the process pool
+    publishes the parent's plans through shared memory instead).  Work
+    division uses the plans' exact per-row near/far pair counts, not the
+    point-count proxy: contiguous plan-row segments with near-equal
+    interaction totals for the two compute phases, equal atom ranges for
+    the push.  The division is a pure function of the plan, so all ranks
+    (and the simulated engine) cut identical bounds without communicating.
+    The returned report carries the rank's pair-sum partial result via
+    ``events`` metadata-free channels: ``born_sorted`` and the reduced
+    pair sum are attached to the report as dynamic attributes by the
+    caller's contract (see below) -- kept out of the dataclass so the
     cross-process pickle stays small.
     """
     P, rank = backend.size, backend.rank
@@ -93,12 +101,22 @@ def rank_program(backend: ExecutionBackend, atoms: AtomTreeData,
         phase_t[phase] = dt
         events.append(("phase", {"phase": phase, "seconds": dt, **extra}))
 
-    # -- Step 2: Born integrals over this rank's Q-leaf segment.
-    qs, qe = segment_leaf_bounds(quad.tree, P, balance="points")[rank]
+    # -- Step 1b: interaction plans (local build unless published).
+    if plans is None:
+        t0 = timer()
+        plans = PlanSet(
+            born=build_born_plan(atoms, quad, params.eps_born,
+                                 mac_variant=params.born_mac_variant),
+            epol=build_epol_plan(atoms, params.eps_epol))
+        mark("plan_build", timer() - t0,
+             born_rows=plans.born.nrows, epol_rows=plans.epol.nrows,
+             far_pairs=int(plans.born.far_counts.sum()
+                           + plans.epol.far_counts.sum()))
+
+    # -- Step 2: Born integrals over this rank's plan-row segment.
+    qs, qe = segment_by_weight(plans.born.row_pair_weights(), P)[rank]
     t0 = timer()
-    partial = approx_integrals(atoms, quad, quad.tree.leaves[qs:qe],
-                               params.eps_born,
-                               mac_variant=params.born_mac_variant)
+    partial = execute_born_plan(plans.born, atoms, quad, row_range=(qs, qe))
     counters.add(partial.counters)
     mark("born_compute", timer() - t0, leaves=int(qe - qs))
 
@@ -129,11 +147,12 @@ def rank_program(backend: ExecutionBackend, atoms: AtomTreeData,
     events.append(("collective", {"kind": "allgather",
                                   "nbytes": 8 * max(hi - lo, 1)}))
 
-    # -- Step 6: energy over this rank's atoms-leaf segment.
+    # -- Step 6: energy over this rank's plan-row segment.
     t0 = timer()
     ectx = EnergyContext.build(atoms, born_sorted, params.eps_epol)
-    vs, ve = segment_leaf_bounds(atoms.tree, P, balance="points")[rank]
-    epartial = approx_epol(ectx, atoms.tree.leaves[vs:ve], params.eps_epol)
+    vs, ve = segment_by_weight(
+        plans.epol.row_pair_weights(nbins=ectx.binning.nbins), P)[rank]
+    epartial = execute_epol_plan(plans.epol, ectx, row_range=(vs, ve))
     counters.add(epartial.counters)
     mark("energy_compute", timer() - t0, leaves=int(ve - vs))
 
@@ -202,7 +221,8 @@ def _merge_reports(reports: list[RankReport], trace: Trace,
 def _worker_main(rank: int, size: int, bundle_name: str, layout: dict,
                  scratch_name: str, slot_floats: int, result_name: str,
                  params: ApproximationParams, mol_name: str,
-                 max_radius: float, checks: bool, barrier, queue) -> None:
+                 max_radius: float, plan_meta: dict, checks: bool,
+                 barrier, queue) -> None:
     """Entry point of one pool worker (module-level for spawn support)."""
     bundle = None
     scratch = None
@@ -222,11 +242,23 @@ def _worker_main(rank: int, size: int, bundle_name: str, layout: dict,
         # (the paper's replicated-data design) with zero pickling.
         atoms = AtomTreeData.build(molecule, leaf_cap=params.leaf_cap)
         quad = QuadTreeData.build(surface, leaf_cap=params.quad_leaf_cap)
+        # The parent's plans were published once into the bundle; every
+        # worker maps zero-copy views of the same rows (plan ids refer to
+        # the deterministic tree rebuild above, so they are valid here).
+        plans = PlanSet(
+            born=InteractionPlan.from_arrays(
+                plan_meta["born"],
+                {f: bundle.view(f"plan_born_{f}")
+                 for f in PLAN_ARRAY_FIELDS}),
+            epol=InteractionPlan.from_arrays(
+                plan_meta["epol"],
+                {f: bundle.view(f"plan_epol_{f}")
+                 for f in PLAN_ARRAY_FIELDS}))
         scratch = ScratchBuffer.attach(scratch_name, size, slot_floats)
         backend = ProcessBackend(rank, size, barrier, scratch,
                                  tracker=tracker, collective_log=coll_log)
         report = rank_program(backend, atoms, quad, params,
-                              max_radius=max_radius)
+                              max_radius=max_radius, plans=plans)
         if tracker is not None:
             report.intents = tracker.payload()
         if coll_log is not None:
@@ -293,14 +325,23 @@ def run_real(calc, nworkers: int, *, trace: Trace | None = None,
     slot_floats = atoms.tree.nnodes + atoms.tree.npoints
     max_radius = 2.0 * molecule.bounding_radius
 
-    bundle = SharedArrayBundle.create({
+    # Build (or reuse) the interaction plans once in the parent and
+    # publish their flat arrays alongside the molecule: workers execute
+    # slices of the same plan instead of re-planning P times.
+    plans = calc.plans()
+    shared_arrays = {
         "positions": molecule.positions,
         "radii": molecule.radii,
         "charges": molecule.charges,
         "q_points": surface.points,
         "q_normals": surface.normals,
         "q_weights": surface.weights,
-    })
+    }
+    for prefix, plan in (("plan_born", plans.born), ("plan_epol", plans.epol)):
+        for fname, arr in plan.as_arrays().items():
+            shared_arrays[f"{prefix}_{fname}"] = arr
+    plan_meta = {"born": plans.born.meta(), "epol": plans.epol.meta()}
+    bundle = SharedArrayBundle.create(shared_arrays)
     scratch = ScratchBuffer.create(nworkers, slot_floats)
     from multiprocessing import shared_memory
     result_blk = shared_memory.SharedMemory(
@@ -313,7 +354,7 @@ def run_real(calc, nworkers: int, *, trace: Trace | None = None,
         target=_worker_main,
         args=(r, nworkers, bundle.name, bundle.layout, scratch.name,
               slot_floats, result_blk.name, calc.params, molecule.name,
-              max_radius, checks, barrier, queue),
+              max_radius, plan_meta, checks, barrier, queue),
         daemon=True) for r in range(nworkers)]
     reports: list[RankReport] = []
     try:
@@ -377,6 +418,11 @@ def run_real(calc, nworkers: int, *, trace: Trace | None = None,
         # A checked run must fail loudly, not return tainted numbers.
         checks_report.raise_if_failed()
     counters, phase_seconds = _merge_reports(reports, trace, 0.0)
+    trace.record(0.0, "plan", -1,
+                 {"born_rows": plans.born.nrows,
+                  "epol_rows": plans.epol.nrows,
+                  "build_seconds": (plans.born.build_seconds
+                                    + plans.epol.build_seconds)})
     trace.record(wall_seconds, "pool", -1,
                  {"nworkers": nworkers, "start_method": method or "default",
                   "wall_seconds": wall_seconds})

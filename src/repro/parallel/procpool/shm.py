@@ -44,10 +44,13 @@ def _keep_mapped(shm: shared_memory.SharedMemory) -> None:
 class _ArraySpec:
     offset: int
     shape: tuple[int, ...]
+    #: NumPy dtype name; float64 for the numeric payloads, int64 for the
+    #: interaction-plan index arrays.
+    dtype: str = "float64"
 
 
 class SharedArrayBundle:
-    """A dict of float64 arrays living in one shared-memory block."""
+    """A dict of arrays (float64/int64) living in one shared-memory block."""
 
     def __init__(self, shm: shared_memory.SharedMemory,
                  layout: dict[str, _ArraySpec], *, owner: bool) -> None:
@@ -70,8 +73,13 @@ class SharedArrayBundle:
         offset = 0
         prepared: dict[str, np.ndarray] = {}
         for key, arr in arrays.items():
-            a = np.ascontiguousarray(arr, dtype=np.float64)
-            layout[key] = _ArraySpec(offset=offset, shape=a.shape)
+            # Integer arrays (plan indices) keep their exact dtype; every
+            # other payload is normalised to float64 as before.
+            dtype = np.int64 if np.issubdtype(np.asarray(arr).dtype,
+                                              np.integer) else np.float64
+            a = np.ascontiguousarray(arr, dtype=dtype)
+            layout[key] = _ArraySpec(offset=offset, shape=a.shape,
+                                     dtype=a.dtype.name)
             prepared[key] = a
             offset += a.nbytes
         shm = shared_memory.SharedMemory(create=True, size=max(offset, 1))
@@ -93,10 +101,10 @@ class SharedArrayBundle:
         return self._shm.name
 
     def view(self, key: str) -> np.ndarray:
-        """Zero-copy float64 view of one array in the block."""
+        """Zero-copy view of one array in the block (the spec's dtype)."""
         spec = self.layout[key]
         count = int(np.prod(spec.shape, dtype=np.int64)) if spec.shape else 1
-        flat = np.frombuffer(self._shm.buf, dtype=np.float64,
+        flat = np.frombuffer(self._shm.buf, dtype=np.dtype(spec.dtype),
                              count=count, offset=spec.offset)
         arr = flat.reshape(spec.shape)
         if self._tracker is not None:

@@ -1,0 +1,32 @@
+"""Plan/execute split: cached interaction plans and batched executors.
+
+The paper's two kernels (Figs. 2 and 3) share one traversal pattern --
+classify a target leaf against a tree, then evaluate far pseudo-point and
+near exact tiles.  This package separates *plan construction* (one
+vectorised traversal producing flat CSR interaction lists, see
+:mod:`.builder`) from *plan execution* (batched NumPy kernels over plan
+row ranges, see :mod:`.executor`) -- the architecture of distributed
+tree-code solvers such as DASHMM.  Plans are reusable across backends,
+cacheable across epsilon sweeps (:mod:`.cache`) and carry exact per-row
+work counts for load balancing (:mod:`.stats`).
+"""
+
+from .builder import build_born_plan, build_epol_plan
+from .cache import PlanCache
+from .executor import execute_born_plan, execute_epol_plan
+from .schema import PLAN_ARRAY_FIELDS, InteractionPlan, PlanSet
+from .stats import plan_stats, rank_imbalance, tile_histogram
+
+__all__ = [
+    "PLAN_ARRAY_FIELDS",
+    "InteractionPlan",
+    "PlanCache",
+    "PlanSet",
+    "build_born_plan",
+    "build_epol_plan",
+    "execute_born_plan",
+    "execute_epol_plan",
+    "plan_stats",
+    "rank_imbalance",
+    "tile_histogram",
+]

@@ -1,0 +1,103 @@
+"""Vectorised planners: one multi-target traversal -> one plan.
+
+The planners subsume the traversal half of the legacy per-leaf loops in
+:func:`repro.core.born.approx_integrals_perleaf` and
+:func:`repro.core.energy.approx_epol_perleaf`: every target leaf is
+classified against the walked tree in a single shared-frontier sweep
+(:func:`repro.octree.traversal.classify_many`), and the per-row results
+land in the CSR arrays of :class:`~repro.plan.schema.InteractionPlan`
+in exactly the order the per-leaf walks would have produced them.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..core.born import AtomTreeData, QuadTreeData, _slice_concat
+from ..octree.mac import born_mac_multiplier, epol_mac_multiplier
+from ..octree.octree import Octree
+from ..octree.traversal import MultiClassification, classify_many
+from .schema import InteractionPlan
+
+
+def _near_point_csr(tree: Octree, mc: MultiClassification
+                    ) -> tuple[np.ndarray, np.ndarray]:
+    """Flatten each row's near-leaf point slices into one array.
+
+    Row-wise this equals ``_slice_concat(tree, row_near_leaves)`` -- the
+    concatenation over the row's leaves in CSR order -- because
+    ``_slice_concat`` itself concatenates per-leaf slices in input order.
+    """
+    counts = tree.point_end[mc.near_leaves] - tree.point_start[mc.near_leaves]
+    prefix = np.zeros(len(mc.near_leaves) + 1, dtype=np.int64)
+    np.cumsum(counts, out=prefix[1:])
+    near_point_start = prefix[mc.near_start]
+    return near_point_start, _slice_concat(tree, mc.near_leaves)
+
+
+def _plan_from_classification(kind: str, walked: Octree, target: Octree,
+                              leaves: np.ndarray, mc: MultiClassification, *,
+                              eps: float, mac_variant: str, power: int,
+                              multiplier: float,
+                              t0: float) -> InteractionPlan:
+    near_point_start, near_points = _near_point_csr(walked, mc)
+    plan = InteractionPlan(
+        kind=kind, eps=eps, mac_variant=mac_variant, power=power,
+        multiplier=float(multiplier),
+        target_leaves=np.asarray(leaves, dtype=np.int64),
+        target_point_start=target.point_start[leaves].astype(np.int64),
+        target_point_end=target.point_end[leaves].astype(np.int64),
+        far_start=mc.far_start, far_nodes=mc.far_nodes, far_dist=mc.far_dist,
+        near_leaf_start=mc.near_start, near_leaves=mc.near_leaves,
+        near_point_start=near_point_start, near_points=near_points,
+        nodes_visited=mc.nodes_visited,
+        build_seconds=time.perf_counter() - t0)
+    return plan
+
+
+def build_born_plan(atoms: AtomTreeData, quad: QuadTreeData, eps: float, *,
+                    disable_far: bool = False,
+                    mac_variant: str = "practical", power: int = 6,
+                    q_leaves: np.ndarray | None = None) -> InteractionPlan:
+    """Plan the Born-integral phase: classify quadrature-tree leaves
+    (targets) against the atoms tree.
+
+    ``q_leaves`` restricts the plan to a subset of targets (default: every
+    leaf of the quadrature tree, in leaf order -- the full-pipeline plan
+    the driver caches and the ranks slice).
+    """
+    t0 = time.perf_counter()
+    q_tree = quad.tree
+    leaves = q_tree.leaves if q_leaves is None \
+        else np.asarray(q_leaves, dtype=np.int64)
+    mult = np.inf if disable_far \
+        else born_mac_multiplier(eps, variant=mac_variant)
+    mc = classify_many(atoms.tree, q_tree.ball_center[leaves],
+                       q_tree.ball_radius[leaves], mult)
+    return _plan_from_classification(
+        "born", atoms.tree, q_tree, leaves, mc, eps=eps,
+        mac_variant=mac_variant, power=power, multiplier=mult, t0=t0)
+
+
+def build_epol_plan(atoms: AtomTreeData, eps: float, *,
+                    disable_far: bool = False,
+                    v_leaves: np.ndarray | None = None) -> InteractionPlan:
+    """Plan the energy phase: classify atoms-tree leaves against the same
+    atoms tree.
+
+    Needs only the tree and ``eps`` -- *not* the Born radii -- so both
+    plans of a pipeline can be built (and published to workers) before the
+    Born phase runs.
+    """
+    t0 = time.perf_counter()
+    tree = atoms.tree
+    leaves = tree.leaves if v_leaves is None \
+        else np.asarray(v_leaves, dtype=np.int64)
+    mult = np.inf if disable_far else epol_mac_multiplier(eps)
+    mc = classify_many(tree, tree.ball_center[leaves],
+                       tree.ball_radius[leaves], mult)
+    return _plan_from_classification(
+        "epol", tree, tree, leaves, mc, eps=eps, mac_variant="", power=0,
+        multiplier=mult, t0=t0)

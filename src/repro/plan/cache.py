@@ -1,0 +1,79 @@
+"""Plan caching across pipeline phases and epsilon sweeps.
+
+A plan depends only on ``(tree pair, eps, mac_variant, power)``; the
+driver's phases and the Fig. 10 epsilon sweep keep asking for the same
+handful of configurations, so building each plan once and reusing it is
+pure win.  :class:`PlanCache` is a tiny keyed store with hit/miss
+accounting that feeds the plan-timing section of the bench output.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .schema import InteractionPlan
+
+#: Cache key: ("born", eps, mac_variant, power) or ("epol", eps).
+PlanKey = tuple
+
+
+def born_key(eps: float, *, mac_variant: str = "practical",
+             power: int = 6, disable_far: bool = False) -> PlanKey:
+    return ("born", float(eps), mac_variant, power, bool(disable_far))
+
+
+def epol_key(eps: float, *, disable_far: bool = False) -> PlanKey:
+    return ("epol", float(eps), bool(disable_far))
+
+
+class PlanCache:
+    """Keyed store of built :class:`InteractionPlan` objects.
+
+    One cache belongs to one calculator (one fixed tree pair); keys only
+    encode the kernel configuration.  ``get_or_build`` is the single
+    entry point so every consumer shares the hit/miss ledger.
+    """
+
+    def __init__(self) -> None:
+        self._plans: dict[PlanKey, InteractionPlan] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._plans)
+
+    def __contains__(self, key: PlanKey) -> bool:
+        return key in self._plans
+
+    def get_or_build(self, key: PlanKey,
+                     builder: Callable[[], InteractionPlan]
+                     ) -> InteractionPlan:
+        """Return the cached plan for ``key``, building it on first use."""
+        plan = self._plans.get(key)
+        if plan is not None:
+            self.hits += 1
+            return plan
+        self.misses += 1
+        plan = builder()
+        self._plans[key] = plan
+        return plan
+
+    def put(self, key: PlanKey, plan: InteractionPlan) -> None:
+        """Insert an externally built plan (e.g. one received from the
+        parent process through shared memory)."""
+        self._plans[key] = plan
+
+    def build_seconds(self) -> float:
+        """Total wall seconds spent building the cached plans."""
+        # Timing bookkeeping, not an energy term (dict order is insertion
+        # order; nothing numeric depends on this value).
+        return sum(p.build_seconds  # repro-lint: disable=REP001
+                   for p in self._plans.values())
+
+    def stats(self) -> dict:
+        return {
+            "plans": len(self._plans),
+            "hits": self.hits,
+            "misses": self.misses,
+            "build_seconds": self.build_seconds(),
+        }

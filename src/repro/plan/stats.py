@@ -1,0 +1,58 @@
+"""Plan statistics: tile histograms, pair totals, rank imbalance.
+
+Everything here is *measured from the plan* -- exact interaction counts,
+not cost-model estimates -- which is what makes plan-driven work division
+(:func:`repro.octree.partition.segment_by_weight` over
+:meth:`~repro.plan.schema.InteractionPlan.row_pair_weights`) strictly
+better informed than the point-count proxy it replaces.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..octree.partition import imbalance, segment_by_weight
+from .schema import InteractionPlan
+
+
+def tile_histogram(plan: InteractionPlan) -> dict[str, list[int]]:
+    """Histogram of near-tile source sizes over doubling bucket edges.
+
+    Buckets are ``[0, 1), [1, 2), [2, 4), ... [2^k, max]`` -- the shape
+    distribution the batched executor's per-shape GEMM bucketing sees.
+    """
+    counts = plan.near_point_counts
+    if counts.size == 0 or int(counts.max()) == 0:
+        return {"edges": [0, 1], "counts": [int(counts.size)]}
+    top = int(counts.max())
+    edges = [0, 1]
+    while edges[-1] < top + 1:
+        edges.append(edges[-1] * 2)
+    hist, _ = np.histogram(counts, bins=np.asarray(edges))
+    return {"edges": edges, "counts": [int(c) for c in hist]}
+
+
+def rank_imbalance(plan: InteractionPlan, nparts: int, *,
+                   nbins: int = 0) -> float:
+    """Imbalance factor (max/mean pair count) of the plan-driven
+    partition of this plan's rows into ``nparts`` contiguous segments."""
+    weights = plan.row_pair_weights(nbins=nbins)
+    bounds = segment_by_weight(weights, nparts)
+    loads = np.array([float(weights[s:e].sum()) for s, e in bounds])
+    return imbalance(loads)
+
+
+def plan_stats(plan: InteractionPlan, *, nparts: int = 1,
+               nbins: int = 0) -> dict:
+    """JSON-ready summary of one plan (bench output, trace metadata)."""
+    return {
+        "kind": plan.kind,
+        "eps": plan.eps,
+        "rows": plan.nrows,
+        "far_pairs": int(plan.far_counts.sum()),
+        "near_leaf_pairs": int(plan.near_leaf_counts.sum()),
+        "exact_pairs": int(plan.exact_pairs_per_row.sum()),
+        "tile_histogram": tile_histogram(plan),
+        "build_seconds": plan.build_seconds,
+        "imbalance": rank_imbalance(plan, nparts, nbins=nbins),
+    }

@@ -1,0 +1,26 @@
+# repro-lint: roles=executor
+"""REP006 fixture: per-element Python loops inside a plan executor."""
+
+import numpy as np
+
+leaves = np.arange(8)
+leaf_values = np.linspace(0.0, 1.0, 8)
+
+
+def per_leaf_total() -> float:
+    total = 0.0
+    for leaf in leaves:  # BAD: per-leaf Python loop in an executor
+        total += float(leaf_values[leaf])
+    return total
+
+
+def per_row_scalar_total(nrows: int) -> float:
+    total = 0.0
+    for i in range(nrows):  # BAD: scalar accumulation range-loop
+        total += float(leaf_values[i % 8])
+    return total
+
+
+def batched_total() -> float:
+    # GOOD: one vectorised reduction over the gathered rows.
+    return float(np.sum(leaf_values[leaves]))

@@ -24,12 +24,10 @@ class TestHaloPlan:
         quad = medium_calc.quad_tree()
         plan = plan_halos(atoms, quad, 0.9, nranks=3)
         from repro.octree.mac import born_mac_multiplier
-        from repro.octree.partition import segment_leaf_bounds
         from repro.octree.traversal import classify_against_ball
         mult = born_mac_multiplier(0.9)
         leaf_index = {int(v): i for i, v in enumerate(atoms.tree.leaves)}
-        for rank, (lo, hi) in enumerate(
-                segment_leaf_bounds(quad.tree, 3)):
+        for rank, (lo, hi) in enumerate(plan.q_bounds):
             granted = set(plan.needed_atom_leaves[rank].tolist())
             for leaf in quad.tree.leaves[lo:hi]:
                 cls = classify_against_ball(

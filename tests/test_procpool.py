@@ -60,8 +60,9 @@ class TestSerialBackendEquivalence:
                               calc.quad_tree(), calc.params,
                               max_radius=2.0 * calc.molecule.bounding_radius)
         assert report.rank == 0
+        # No pre-built plans passed, so the rank builds (and times) its own.
         assert set(report.phase_seconds) == {
-            "born_compute", "born_comm", "push", "radii_comm",
+            "plan_build", "born_compute", "born_comm", "push", "radii_comm",
             "energy_compute", "energy_comm"}
 
     def test_unknown_backend_rejected(self, seeded_calcs):

@@ -28,6 +28,7 @@ EXPECTED = {
     "REP003": FIXTURES / "bad_rep003.py",
     "REP004": FIXTURES / "bad_rep004.py",
     "REP005": FIXTURES / "bad_rep005.py",
+    "REP006": FIXTURES / "bad_rep006.py",
 }
 
 
@@ -39,9 +40,9 @@ def run_cli(*args: str) -> subprocess.CompletedProcess:
 
 
 class TestRuleCatalogue:
-    def test_five_rules_shipped(self):
+    def test_six_rules_shipped(self):
         assert sorted(RULES) == ["REP001", "REP002", "REP003", "REP004",
-                                 "REP005"]
+                                 "REP005", "REP006"]
 
     def test_every_rule_has_a_hint(self):
         for rule in RULES.values():
@@ -113,6 +114,22 @@ class TestScoping:
         roles = infer_roles("src/repro/parallel/procpool/shm.py")
         assert "procpool" in roles
         assert "procpool" not in infer_roles("src/repro/core/energy.py")
+
+    def test_executor_role_from_plan_dir(self):
+        roles = infer_roles("src/repro/plan/executor.py")
+        assert {"executor", "numeric", "kernel"} <= roles
+        assert "executor" not in infer_roles("src/repro/core/born.py")
+
+    def test_rep006_scoped_to_executor_modules(self):
+        src = ("def run(leaves, vals):\n"
+               "    t = 0.0\n"
+               "    for leaf in leaves:\n"
+               "        t += vals[leaf]\n"
+               "    return t\n")
+        assert [f.rule for f in
+                lint_source(src, "src/repro/plan/executor.py")] == ["REP006"]
+        # The per-leaf reference kernels outside plan/ stay legal.
+        assert lint_source(src, "src/repro/core/born.py") == []
 
     def test_reduction_homes_exempt_from_rep002(self):
         src = "import numpy as np\nr = np.stack(vals).sum(axis=0)\n"
