@@ -11,7 +11,8 @@ import ast
 from dataclasses import asdict, dataclass
 from pathlib import Path
 
-from .rules import RULES, is_reduction_home, roles_for, suppressed_rules
+from .rules import (RULES, is_clock_home, is_reduction_home, roles_for,
+                    suppressed_rules)
 
 #: Wall-clock callables of the :mod:`time` module (REP003).
 _WALLCLOCK_ATTRS = frozenset({
@@ -202,18 +203,20 @@ class _Visitor(ast.NodeVisitor):
                                f"range({bound})")
 
     def _check_wallclock(self, node: ast.Call) -> None:
+        if is_clock_home(self.path):
+            return  # serve/metrics.py is the sanctioned latency clock
+        where = ("service" if "service" in self.roles
+                 else "simulated-time") + " code"
         func = node.func
         if (isinstance(func, ast.Attribute)
                 and func.attr in _WALLCLOCK_ATTRS
                 and isinstance(func.value, ast.Name)
                 and func.value.id in (self._module_aliases | {"time"})):
             self._emit("REP003", node,
-                       f"wall-clock call time.{func.attr}() in "
-                       "simulated-time code")
+                       f"wall-clock call time.{func.attr}() in {where}")
         elif isinstance(func, ast.Name) and func.id in self._time_aliases:
             self._emit("REP003", node,
-                       f"wall-clock call {func.id}() in simulated-time "
-                       "code")
+                       f"wall-clock call {func.id}() in {where}")
 
     def _check_dtype(self, node: ast.Call) -> None:
         name = _call_name(node.func)

@@ -33,6 +33,14 @@ REDUCTION_HOME_FILES = (
     "parallel/procpool/backend.py",
 )
 
+#: The only file in a wall-clock-restricted role allowed to read the wall
+#: clock: the serving layer's latency instrumentation.  Everything else in
+#: ``repro/serve/`` takes timestamps through ``serve.metrics.now()`` so
+#: latency accounting stays in one auditable place (REP003 exemption).
+CLOCK_HOME_FILES = (
+    "serve/metrics.py",
+)
+
 _ROLES_RE = re.compile(r"#\s*repro-lint:\s*roles=([A-Za-z0-9_,\- ]+)")
 _DISABLE_RE = re.compile(r"#\s*repro-lint:\s*disable=([A-Za-z0-9_, ]+)")
 
@@ -73,11 +81,13 @@ RULES: dict[str, Rule] = {r.id: r for r in (
     ),
     Rule(
         id="REP003",
-        title="wall-clock call inside simulated-time code",
-        roles=frozenset({"simtime"}),
+        title="wall-clock call inside simulated-time or service code",
+        roles=frozenset({"simtime", "service"}),
         hint=("simmpi/ and cilk/ model time; use "
               "repro.runtime.clock.SimClock (ctx.advance/advance_to) "
-              "instead of time.time/perf_counter/monotonic"),
+              "instead of time.time/perf_counter/monotonic.  In "
+              "repro/serve/ the latency clock lives in serve/metrics.py "
+              "only; call repro.serve.metrics.now() elsewhere"),
     ),
     Rule(
         id="REP004",
@@ -117,6 +127,8 @@ def infer_roles(path: str) -> frozenset[str]:
         roles.add("procpool")
     if "simmpi" in parts or "cilk" in parts:
         roles.add("simtime")
+    if "serve" in parts:
+        roles.add("service")
     if "parallel" in parts:
         roles.add("parallel")
     if parts & NUMERIC_DIRS:
@@ -144,6 +156,14 @@ def is_reduction_home(path: str) -> bool:
     rank-order reductions (REP002 exemption)."""
     posix = PurePosixPath(path).as_posix()
     return any(posix.endswith(home) for home in REDUCTION_HOME_FILES)
+
+
+def is_clock_home(path: str) -> bool:
+    """Whether ``path`` is the serving layer's latency-clock module, the
+    one ``service``-role file allowed to call the wall clock (REP003
+    exemption; ``simtime`` files get no such exemption)."""
+    posix = PurePosixPath(path).as_posix()
+    return any(posix.endswith(home) for home in CLOCK_HOME_FILES)
 
 
 def suppressed_rules(line: str) -> frozenset[str]:

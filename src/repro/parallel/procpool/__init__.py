@@ -9,12 +9,15 @@ substrate is authoritative.
 """
 
 from .backend import ExecutionBackend, ProcessBackend, SerialBackend
+from .pool import PersistentWorkerPool, PoolError
 from .runner import (BackendRunResult, RankReport, rank_program, run_real)
 from .shm import ScratchBuffer, SharedArrayBundle
 
 __all__ = [
     "BackendRunResult",
     "ExecutionBackend",
+    "PersistentWorkerPool",
+    "PoolError",
     "ProcessBackend",
     "RankReport",
     "ScratchBuffer",

@@ -15,12 +15,32 @@ and one payload slot per rank.
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass
 from multiprocessing import shared_memory
 
 import numpy as np
 
 from ...analysis_static.races import WriteIntentTracker, tracked_view
+
+
+def _reap_segment(shm: shared_memory.SharedMemory) -> None:
+    """Best-effort unlink+close of an *owned* segment at finalization.
+
+    Runs from a ``weakref.finalize`` when an owner is garbage-collected
+    (or the interpreter exits) without having called ``unlink()`` -- e.g.
+    a serving fleet torn down mid-run.  Every failure mode here means the
+    segment is already gone or still has exported views; either way the
+    goal is "no ``/dev/shm`` litter", not an error.
+    """
+    try:
+        shm.unlink()
+    except (FileNotFoundError, OSError):
+        pass
+    try:
+        shm.close()
+    except (BufferError, OSError):
+        pass
 
 
 def _keep_mapped(shm: shared_memory.SharedMemory) -> None:
@@ -32,12 +52,34 @@ def _keep_mapped(shm: shared_memory.SharedMemory) -> None:
     ``BufferError: cannot close exported pointers exist``.  The OS reclaims
     the mapping at process death regardless, so the exit path simply
     disarms ``close`` instead of chasing every exported view.
-
-    The resource tracker needs no such treatment: worker attaches re-add
-    the segment name to the tracker's (set-valued) cache and the parent's
-    ``unlink`` removes it exactly once.
     """
     shm.close = lambda: None  # type: ignore[method-assign]
+
+
+def _attach_untracked(name: str) -> shared_memory.SharedMemory:
+    """Map an existing segment without resource-tracker registration.
+
+    Until Python 3.13 grew ``track=False``, ``SharedMemory(name=...)``
+    registers the segment with the attaching process's resource tracker
+    (bpo-38119).  That is wrong for both persistent-worker layouts: a
+    worker with its *own* tracker (spawn, or fork before any tracker
+    start) "cleans up" -- warns about and tries to unlink -- segments the
+    owning parent already unlinked, while unregister-after-attach on a
+    *shared* tracker (fork) deletes the creator's registration out from
+    under it.  Ownership here is explicit (the creator unlinks, with a
+    finalizer backstop), so attaches must simply never register.
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # Python < 3.13
+        pass
+    from multiprocessing import resource_tracker
+    original = resource_tracker.register
+    resource_tracker.register = lambda *a, **k: None  # type: ignore[assignment]
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original
 
 
 @dataclass(frozen=True)
@@ -58,7 +100,12 @@ class SharedArrayBundle:
         self.layout = layout
         self._owner = owner
         self._unlinked = False
+        self._closed = False
         self._tracker: WriteIntentTracker | None = None
+        # Owners reap their segment even when nobody calls unlink() --
+        # a fleet dropped mid-run must not leave /dev/shm litter.
+        self._finalizer = (weakref.finalize(self, _reap_segment, shm)
+                           if owner else None)
 
     def enable_tracking(self, tracker: WriteIntentTracker) -> None:
         """Arm the race detector: subsequent :meth:`view` results record
@@ -89,11 +136,19 @@ class SharedArrayBundle:
         return bundle
 
     @classmethod
-    def attach(cls, name: str,
-               layout: dict[str, _ArraySpec]) -> "SharedArrayBundle":
-        """Map an existing block (worker side)."""
-        shm = shared_memory.SharedMemory(name=name)
-        _keep_mapped(shm)
+    def attach(cls, name: str, layout: dict[str, _ArraySpec], *,
+               pin: bool = True) -> "SharedArrayBundle":
+        """Map an existing block (worker side).
+
+        ``pin=True`` (the default, used by the one-shot pipeline workers)
+        disarms ``close`` so exported views stay valid for the process's
+        life.  Long-lived serving workers that cache and *evict* attached
+        molecules pass ``pin=False`` and close the mapping themselves once
+        their views are dropped.
+        """
+        shm = _attach_untracked(name)
+        if pin:
+            _keep_mapped(shm)
         return cls(shm, layout, owner=False)
 
     @property
@@ -112,11 +167,22 @@ class SharedArrayBundle:
         return arr
 
     def close(self) -> None:
-        self._shm.close()
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._shm.close()
+        except BufferError:
+            # An exported view escaped; the mapping lives until process
+            # death anyway, so disarm the __del__-time retry and let the
+            # OS reclaim it quietly.
+            _keep_mapped(self._shm)
 
     def unlink(self) -> None:
         if self._owner and not self._unlinked:
             self._unlinked = True
+            if self._finalizer is not None:
+                self._finalizer.detach()
             try:
                 self._shm.unlink()
             except FileNotFoundError:
@@ -142,6 +208,9 @@ class ScratchBuffer:
         self.slot_floats = slot_floats
         self._owner = owner
         self._unlinked = False
+        self._closed = False
+        self._finalizer = (weakref.finalize(self, _reap_segment, shm)
+                           if owner else None)
         header_bytes = self.HEADER_ITEM * size
         self.lengths = np.frombuffer(shm.buf, dtype=np.int64, count=size)
         self.slots = np.frombuffer(
@@ -159,7 +228,7 @@ class ScratchBuffer:
 
     @classmethod
     def attach(cls, name: str, size: int, slot_floats: int) -> "ScratchBuffer":
-        shm = shared_memory.SharedMemory(name=name)
+        shm = _attach_untracked(name)
         _keep_mapped(shm)
         return cls(shm, size, max(int(slot_floats), 1), owner=False)
 
@@ -174,6 +243,9 @@ class ScratchBuffer:
         self.slots = tracked_view(self.slots, "scratch:slots", tracker)
 
     def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
         # Views into the buffer must be dropped before closing the mmap.
         self.lengths = None  # type: ignore[assignment]
         self.slots = None  # type: ignore[assignment]
@@ -182,6 +254,8 @@ class ScratchBuffer:
     def unlink(self) -> None:
         if self._owner and not self._unlinked:
             self._unlinked = True
+            if self._finalizer is not None:
+                self._finalizer.detach()
             try:
                 self._shm.unlink()
             except FileNotFoundError:

@@ -5,6 +5,13 @@ driver's phases and the Fig. 10 epsilon sweep keep asking for the same
 handful of configurations, so building each plan once and reusing it is
 pure win.  :class:`PlanCache` is a tiny keyed store with hit/miss
 accounting that feeds the plan-timing section of the bench output.
+
+For long-lived owners (an epsilon sweep over many values, or the serving
+registry where one cache lives per registered molecule) the cache accepts
+an optional ``max_bytes`` budget: entries are evicted least-recently-used
+by their *measured* :attr:`~repro.plan.schema.InteractionPlan.nbytes`
+until the store fits.  The default stays unbounded so existing callers
+keep their grow-forever semantics.
 """
 
 from __future__ import annotations
@@ -32,18 +39,46 @@ class PlanCache:
     One cache belongs to one calculator (one fixed tree pair); keys only
     encode the kernel configuration.  ``get_or_build`` is the single
     entry point so every consumer shares the hit/miss ledger.
+
+    With ``max_bytes`` set, the store is an LRU bounded by the summed
+    ``plan.nbytes`` of its entries; the plan just built (or hit) is never
+    evicted by its own insertion, so ``get_or_build`` always returns a
+    live plan even when one plan alone exceeds the budget.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, max_bytes: int | None = None) -> None:
+        if max_bytes is not None and max_bytes < 0:
+            raise ValueError("max_bytes must be >= 0 (or None for unbounded)")
+        # dicts preserve insertion order; recency = position (pop/reinsert).
         self._plans: dict[PlanKey, InteractionPlan] = {}
+        self.max_bytes = max_bytes
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def __len__(self) -> int:
         return len(self._plans)
 
     def __contains__(self, key: PlanKey) -> bool:
         return key in self._plans
+
+    @property
+    def current_bytes(self) -> int:
+        """Measured bytes held right now (sum of entry ``nbytes``)."""
+        # Integer byte counts, not an energy term (addition order free).
+        return sum(p.nbytes  # repro-lint: disable=REP001
+                   for p in self._plans.values())
+
+    def _touch(self, key: PlanKey) -> None:
+        self._plans[key] = self._plans.pop(key)
+
+    def _evict_over_budget(self, protect: PlanKey) -> None:
+        if self.max_bytes is None:
+            return
+        while self.current_bytes > self.max_bytes and len(self._plans) > 1:
+            victim = next(k for k in self._plans if k != protect)
+            del self._plans[victim]
+            self.evictions += 1
 
     def get_or_build(self, key: PlanKey,
                      builder: Callable[[], InteractionPlan]
@@ -52,16 +87,20 @@ class PlanCache:
         plan = self._plans.get(key)
         if plan is not None:
             self.hits += 1
+            self._touch(key)
             return plan
         self.misses += 1
         plan = builder()
         self._plans[key] = plan
+        self._evict_over_budget(key)
         return plan
 
     def put(self, key: PlanKey, plan: InteractionPlan) -> None:
         """Insert an externally built plan (e.g. one received from the
         parent process through shared memory)."""
+        self._plans.pop(key, None)
         self._plans[key] = plan
+        self._evict_over_budget(key)
 
     def build_seconds(self) -> float:
         """Total wall seconds spent building the cached plans."""
@@ -75,5 +114,8 @@ class PlanCache:
             "plans": len(self._plans),
             "hits": self.hits,
             "misses": self.misses,
+            "evictions": self.evictions,
+            "current_bytes": self.current_bytes,
+            "max_bytes": self.max_bytes,
             "build_seconds": self.build_seconds(),
         }

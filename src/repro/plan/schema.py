@@ -112,6 +112,13 @@ class InteractionPlan:
         """(L,) exact point-point pairs per row (tile area)."""
         return self.near_point_counts * self.target_sizes
 
+    @property
+    def nbytes(self) -> int:
+        """Measured bytes of the flat plan arrays (what a cache budget or
+        a shared-memory publication actually pays for this plan)."""
+        return int(sum(getattr(self, name).nbytes
+                       for name in PLAN_ARRAY_FIELDS))
+
     def row_pair_weights(self, *, nbins: int = 0) -> np.ndarray:
         """Exact per-row interaction counts for work division.
 

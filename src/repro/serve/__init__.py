@@ -1,0 +1,76 @@
+"""``repro.serve``: a batched, cached :math:`E_{pol}` serving layer.
+
+The paper's headline use case is throughput -- scoring thousands of ZDOCK
+docking decoys, each one :math:`E_{pol}` evaluation -- and this package
+turns the repo's pieces into that request/response service:
+
+* :mod:`.registry` -- content-hashed molecules under a byte-budget LRU
+  (octrees + plan cache warm per molecule);
+* :mod:`.scheduler` -- bounded admission with explicit backpressure and a
+  micro-batching loop that groups same-molecule requests so plans build
+  once and execute many;
+* :mod:`.fleet` -- warm in-process or OS-process workers with molecule
+  and plan arrays published once via shared memory;
+* :mod:`.client` -- futures-style submit/poll/await;
+* :mod:`.metrics` -- latency/throughput/batching accounting (the layer's
+  only wall-clock reader, repro-lint rule REP003);
+* ``python -m repro.serve`` -- workload replay writing
+  ``BENCH_serve.json``.
+
+Served energies are bit-identical to a cold
+:meth:`repro.core.driver.PolarizationEnergyCalculator.run` of the same
+configuration; see ``docs/SERVING.md`` for the architecture and the
+determinism argument.
+"""
+
+from __future__ import annotations
+
+from .client import ServeClient, ServeFuture
+from .fleet import (EpsConfig, EvalResult, FleetError, InlineFleet,
+                    ProcessFleet, evaluate_pipeline)
+from .metrics import ServeMetrics, now
+from .registry import MoleculeRegistry, RegistryEntry, content_key
+from .scheduler import (EpolServer, RejectedError, ServeConfig,
+                        ServerClosed)
+
+__all__ = [
+    "EpolServer",
+    "EpsConfig",
+    "EvalResult",
+    "FleetError",
+    "InlineFleet",
+    "MoleculeRegistry",
+    "ProcessFleet",
+    "RegistryEntry",
+    "RejectedError",
+    "ServeClient",
+    "ServeConfig",
+    "ServeFuture",
+    "ServeMetrics",
+    "ServerClosed",
+    "content_key",
+    "evaluate_pipeline",
+    "make_server",
+    "now",
+]
+
+
+def make_server(*, backend: str = "real", workers: int = 2,
+                config: ServeConfig | None = None,
+                start_method: str | None = None) -> EpolServer:
+    """Assemble (but do not start) a server on the chosen fleet.
+
+    ``backend="real"`` serves over ``workers`` warm OS processes;
+    ``backend="sim"`` evaluates inline in the scheduler thread (one
+    logical worker -- the reference substrate).
+    """
+    if backend == "real":
+        fleet: InlineFleet | ProcessFleet = ProcessFleet(
+            workers, start_method=start_method)
+    elif backend == "sim":
+        if workers != 1:
+            raise ValueError("the sim (inline) backend has exactly 1 worker")
+        fleet = InlineFleet()
+    else:
+        raise ValueError(f"unknown serve backend {backend!r}")
+    return EpolServer(fleet=fleet, config=config)

@@ -1,0 +1,170 @@
+"""Workload replay CLI: ``python -m repro.serve``.
+
+Replays a decoy-scoring request stream through the serving layer and
+writes ``BENCH_serve.json`` (throughput, p50/p95/p99 latency, batch-size
+histogram, registry and plan-cache hit rates)::
+
+    python -m repro.serve --workload zdock-synth --requests 200
+    python -m repro.serve --workload blob --requests 100 --backend sim
+
+Workloads:
+
+* ``zdock-synth`` -- cycles the ZDock-Benchmark-2.0 analogue registry
+  (:mod:`repro.molecule.zdock`), smallest complexes first, capped by
+  ``--max-atoms``;
+* ``blob`` -- ``--distinct`` synthetic protein blobs of ``--natoms``
+  atoms.
+
+Every request is submitted with an unbounded retry-with-backoff loop, so
+admission rejections (backpressure) delay producers instead of losing
+requests; the process exits non-zero unless every submitted request
+completes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from ..molecule.molecule import Molecule
+from .client import ServeClient
+from .metrics import now
+from .scheduler import ServeConfig
+from . import make_server
+
+
+def _workload(args: argparse.Namespace) -> list[Molecule]:
+    """The distinct molecules the request stream cycles through."""
+    if args.workload == "zdock-synth":
+        from ..molecule import zdock
+        mols = [zdock.molecule(e.index) for e in zdock.entries()
+                if e.natoms <= args.max_atoms][:args.distinct]
+        if not mols:
+            raise SystemExit(
+                f"no ZDock analogue fits --max-atoms {args.max_atoms} "
+                f"(suite minimum is {zdock.MIN_ATOMS})")
+        return mols
+    from ..config import DEFAULT_SEED
+    from ..molecule.generators import protein_blob
+    seed = DEFAULT_SEED if args.seed is None else args.seed
+    return [protein_blob(args.natoms, seed=seed + i,
+                         name=f"blob-{args.natoms}-{i}")
+            for i in range(args.distinct)]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="Replay an E_pol request stream through the batched, "
+                    "cached serving layer and write BENCH_serve.json.")
+    parser.add_argument("--workload", choices=("zdock-synth", "blob"),
+                        default="zdock-synth")
+    parser.add_argument("--requests", type=int, default=200,
+                        help="total requests to replay (default 200)")
+    parser.add_argument("--distinct", type=int, default=6,
+                        help="distinct molecules the stream cycles through")
+    parser.add_argument("--max-atoms", type=int, default=900,
+                        help="zdock-synth: largest complex to serve")
+    parser.add_argument("--natoms", type=int, default=350,
+                        help="blob: atoms per synthetic molecule")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="blob: generator seed")
+    parser.add_argument("--backend", choices=("real", "sim"),
+                        default="real")
+    parser.add_argument("-P", "--workers", type=int, default=2,
+                        help="fleet width for --backend real (default 2)")
+    parser.add_argument("--max-batch", type=int, default=16)
+    parser.add_argument("--max-wait-ms", type=float, default=2.0,
+                        help="micro-batching window (default 2 ms)")
+    parser.add_argument("--queue-cap", type=int, default=64,
+                        help="admission-control queue bound")
+    parser.add_argument("--registry-mb", type=float, default=None,
+                        help="optional registry LRU budget, megabytes")
+    parser.add_argument("--bench-out", default="BENCH_serve.json")
+    args = parser.parse_args(argv)
+    if args.requests < 1 or args.distinct < 1 or args.workers < 1:
+        parser.error("--requests/--distinct/--workers must be >= 1")
+
+    molecules = _workload(args)
+    config = ServeConfig(
+        max_batch=args.max_batch,
+        max_wait_seconds=args.max_wait_ms / 1e3,
+        queue_capacity=args.queue_cap,
+        registry_max_bytes=(int(args.registry_mb * 2**20)
+                            if args.registry_mb is not None else None))
+    workers = args.workers if args.backend == "real" else 1
+    server = make_server(backend=args.backend, workers=workers,
+                         config=config)
+    print(f"serve: backend={args.backend} workers={workers} "
+          f"max_batch={config.max_batch} queue_cap={config.queue_capacity}")
+    print(f"workload: {args.workload}, {args.requests} requests over "
+          f"{len(molecules)} molecules "
+          f"({', '.join(f'{m.name}:{len(m)}' for m in molecules)})")
+
+    t0 = now()
+    with server:
+        client = ServeClient(server)
+        keys = [client.register(m) for m in molecules]
+        warm_seconds = now() - t0
+        t_submit = now()
+        futures = [client.submit(key=keys[i % len(keys)],
+                                 retries=sys.maxsize)
+                   for i in range(args.requests)]
+        energies = client.await_all(futures, timeout=600.0)
+        replay_seconds = now() - t_submit
+    stats = server.stats()
+
+    record = {
+        "workload": args.workload,
+        "requests": args.requests,
+        "distinct_molecules": len(molecules),
+        "molecules": {m.name: len(m) for m in molecules},
+        "backend": args.backend,
+        "workers": workers,
+        "config": {
+            "max_batch": config.max_batch,
+            "max_wait_seconds": config.max_wait_seconds,
+            "queue_capacity": config.queue_capacity,
+            "registry_max_bytes": config.registry_max_bytes,
+        },
+        "warm_seconds": warm_seconds,
+        "replay_seconds": replay_seconds,
+        "energies": {m.name: energies[i]
+                     for i, m in enumerate(molecules)},
+        "retried_rejections": client.retried_rejections,
+        **stats,
+    }
+    with open(args.bench_out, "w") as fh:
+        json.dump(record, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+    lat = stats["latency"]
+    print(f"  completed {stats['completed']}/{args.requests} "
+          f"(rejections retried: {client.retried_rejections}, "
+          f"failed: {stats['failed']})")
+    print(f"  throughput {stats['throughput_rps']:.1f} req/s over "
+          f"{replay_seconds:.2f} s replay "
+          f"({warm_seconds:.2f} s registry warm-up)")
+    print(f"  latency p50 {lat['p50_ms']:.1f} ms, p95 {lat['p95_ms']:.1f} "
+          f"ms, p99 {lat['p99_ms']:.1f} ms")
+    print(f"  batches {stats['batches']} (mean size "
+          f"{stats['mean_batch_size']:.1f}), histogram "
+          f"{stats['batch_histogram']}")
+    reg = stats["registry"]
+    print(f"  registry {reg['hits']} hits / {reg['misses']} misses / "
+          f"{reg['evictions']} evictions; plan cache "
+          f"{reg['plan_cache']['hits']} hits / "
+          f"{reg['plan_cache']['misses']} misses")
+    print(f"wrote {args.bench_out}")
+
+    lost = args.requests - stats["completed"]
+    if lost or stats["failed"]:
+        print(f"ERROR: {lost} request(s) unaccounted for, "
+              f"{stats['failed']} failed")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,374 @@
+"""Warm execution fleets: where served requests actually compute.
+
+Two fleets implement one contract (``run_batch`` over ``(request id,
+registry entry, epsilon config)`` items, plus ``forget``/``shutdown``):
+
+* :class:`InlineFleet` ("sim" backend) evaluates in the scheduler thread
+  against the registry entry's own calculator -- zero processes, the
+  reference substrate for tests and the plan/tree-reuse benchmark;
+* :class:`ProcessFleet` ("real" backend) keeps ``P``
+  :class:`~repro.parallel.procpool.pool.PersistentWorkerPool` workers
+  alive across requests.  Each molecule's arrays and interaction plans
+  are published **once** into a
+  :class:`~repro.parallel.procpool.shm.SharedArrayBundle` per epsilon
+  configuration; workers attach lazily, rebuild the deterministic
+  octrees, cache the prepared state, and then serve every later request
+  for that molecule at plan-execution cost.
+
+Determinism contract: a served request evaluates the *whole* plan (every
+row) through :func:`evaluate_pipeline` -- the exact kernel sequence of
+:meth:`repro.core.driver.PolarizationEnergyCalculator.profile` -- so the
+returned energy is bit-identical to a cold ``driver.run()`` of the same
+configuration, per request, regardless of fleet width, batch shape or
+arrival order.  Fleet parallelism is *across* requests (the decoy-scoring
+shape of the workload), never inside one energy sum.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+import traceback
+from dataclasses import dataclass
+from typing import Any
+
+from ..analysis_static.checks import checks_enabled
+from ..core.born import AtomTreeData, QuadTreeData, push_integrals_to_atoms
+from ..core.energy import EnergyContext, epol_from_pair_sum
+from ..core.params import ApproximationParams
+from ..molecule.molecule import Molecule
+from ..parallel.procpool import (PersistentWorkerPool, PoolError,
+                                 SharedArrayBundle)
+from ..plan import InteractionPlan, PlanSet
+from ..plan.executor import execute_born_plan, execute_epol_plan
+from ..plan.schema import PLAN_ARRAY_FIELDS
+from ..surface.sas import SurfaceQuadrature
+from .metrics import now
+from .registry import RegistryEntry
+
+#: Molecules one warm worker keeps attached before evicting its oldest.
+WORKER_CACHE_ENTRIES = 8
+
+
+class FleetError(RuntimeError):
+    """The fleet cannot serve (worker death, shut-down pool)."""
+
+
+@dataclass(frozen=True)
+class EpsConfig:
+    """The per-request kernel configuration (epsilon overrides)."""
+
+    eps_born: float
+    eps_epol: float
+
+    @classmethod
+    def resolve(cls, params: ApproximationParams,
+                eps_born: float | None = None,
+                eps_epol: float | None = None) -> "EpsConfig":
+        return cls(
+            eps_born=float(params.eps_born if eps_born is None else eps_born),
+            eps_epol=float(params.eps_epol if eps_epol is None else eps_epol))
+
+
+@dataclass
+class EvalResult:
+    """One served evaluation: the energy plus provenance/timing."""
+
+    energy: float
+    worker: int
+    eval_seconds: float
+    cold_attach: bool = False
+    error: str | None = None
+
+
+def evaluate_pipeline(molecule: Molecule, atoms: AtomTreeData,
+                      quad: QuadTreeData, plans: PlanSet,
+                      params: ApproximationParams, *,
+                      eps_epol: float) -> float:
+    """Full-plan serial evaluation -- the serving layer's single kernel.
+
+    Executes every plan row in ascending order: exactly the computation
+    of ``PolarizationEnergyCalculator.profile()``, so both fleets (and
+    every worker of the process fleet) produce energies bit-identical to
+    the cold serial driver for the same configuration.
+    """
+    partial = execute_born_plan(plans.born, atoms, quad)
+    born_sorted = push_integrals_to_atoms(
+        atoms, partial, max_radius=2.0 * molecule.bounding_radius)
+    ectx = EnergyContext.build(atoms, born_sorted, eps_epol)
+    epartial = execute_epol_plan(plans.epol, ectx)
+    return epol_from_pair_sum(epartial.pair_sum,
+                              epsilon_solvent=params.epsilon_solvent)
+
+
+# ----------------------------------------------------------------------
+# in-process fleet ("sim" backend)
+# ----------------------------------------------------------------------
+class InlineFleet:
+    """Evaluates batches inline in the calling (scheduler) thread."""
+
+    backend = "sim"
+    nworkers = 1
+
+    def __init__(self) -> None:
+        self._closed = False
+
+    def run_batch(self, items: list[tuple[int, RegistryEntry, EpsConfig]]
+                  ) -> dict[int, EvalResult]:
+        if self._closed:
+            raise FleetError("fleet is shut down")
+        out: dict[int, EvalResult] = {}
+        for req_id, entry, cfg in items:
+            t0 = now()
+            try:
+                plans = entry.plans_for(cfg.eps_born, cfg.eps_epol)
+                energy = evaluate_pipeline(
+                    entry.molecule, entry.calc.atom_tree(),
+                    entry.calc.quad_tree(), plans, entry.params,
+                    eps_epol=cfg.eps_epol)
+                out[req_id] = EvalResult(energy=energy, worker=0,
+                                         eval_seconds=now() - t0)
+            except Exception:
+                out[req_id] = EvalResult(
+                    energy=float("nan"), worker=0, eval_seconds=now() - t0,
+                    error=traceback.format_exc())
+        return out
+
+    def forget(self, entry: RegistryEntry) -> None:
+        """Nothing published; the registry eviction already dropped it."""
+
+    def shutdown(self) -> None:
+        self._closed = True  # idempotent by construction
+
+
+# ----------------------------------------------------------------------
+# warm process fleet ("real" backend)
+# ----------------------------------------------------------------------
+@dataclass
+class _Publication:
+    """One (molecule, epsilon config) published into shared memory."""
+
+    bundle: SharedArrayBundle
+    plan_meta: dict
+    params: ApproximationParams
+    mol_name: str
+
+
+def _publication_arrays(entry: RegistryEntry,
+                        plans: PlanSet) -> dict[str, Any]:
+    surface = entry.calc.prepare_surface()
+    arrays: dict[str, Any] = {
+        "positions": entry.molecule.positions,
+        "radii": entry.molecule.radii,
+        "charges": entry.molecule.charges,
+        "q_points": surface.points,
+        "q_normals": surface.normals,
+        "q_weights": surface.weights,
+    }
+    for prefix, plan in (("plan_born", plans.born),
+                         ("plan_epol", plans.epol)):
+        for fname, arr in plan.as_arrays().items():
+            arrays[f"{prefix}_{fname}"] = arr
+    return arrays
+
+
+class _WorkerState:
+    """One worker's cached prepared state for one publication."""
+
+    def __init__(self, bundle: SharedArrayBundle, plan_meta: dict,
+                 params: ApproximationParams, mol_name: str) -> None:
+        self.bundle = bundle
+        self.params = params
+        self.molecule = Molecule(bundle.view("positions"),
+                                 bundle.view("radii"),
+                                 bundle.view("charges"), name=mol_name)
+        surface = SurfaceQuadrature(bundle.view("q_points"),
+                                    bundle.view("q_normals"),
+                                    bundle.view("q_weights"))
+        # Deterministic rebuild from the shared coordinates: the published
+        # plans' node/point ids are valid against these trees by the same
+        # replicated-data argument run_real relies on.
+        self.atoms = AtomTreeData.build(self.molecule,
+                                        leaf_cap=params.leaf_cap)
+        self.quad = QuadTreeData.build(surface,
+                                       leaf_cap=params.quad_leaf_cap)
+        self.plans = PlanSet(
+            born=InteractionPlan.from_arrays(
+                plan_meta["born"],
+                {f: bundle.view(f"plan_born_{f}")
+                 for f in PLAN_ARRAY_FIELDS}),
+            epol=InteractionPlan.from_arrays(
+                plan_meta["epol"],
+                {f: bundle.view(f"plan_epol_{f}")
+                 for f in PLAN_ARRAY_FIELDS}))
+        if checks_enabled():
+            self.plans.born.validate()
+            self.plans.epol.validate()
+
+    def release(self) -> None:
+        """Drop every view, then try to unmap the segment (eviction)."""
+        self.molecule = self.atoms = self.quad = self.plans = None  # type: ignore[assignment]
+        try:
+            self.bundle.close()
+        except BufferError:
+            # A view escaped (e.g. a result still referencing the mmap);
+            # the mapping stays until process exit -- only memory, never
+            # a /dev/shm name, outlives us (the parent owns unlink).
+            pass
+
+
+def _serve_worker_loop(rank: int, tasks: Any, results: Any) -> None:
+    """One warm worker: attach-and-cache molecules, evaluate requests.
+
+    Module-level so the spawn start method can import it by name; the
+    loop exits on the pool's shutdown sentinel.
+    """
+    cache: dict[str, _WorkerState] = {}
+    while True:
+        task = tasks.get()
+        if task is None:
+            # Drop every cached view before exiting so the mappings close
+            # cleanly (no BufferError noise at interpreter shutdown).
+            for state in cache.values():
+                state.release()
+            cache.clear()
+            break
+        kind = task[0]
+        if kind == "forget":
+            state = cache.pop(task[1], None)
+            if state is not None:
+                state.release()
+            continue
+        req_id = task[1] if len(task) > 1 else None
+        try:
+            _, req_id, name, layout, plan_meta, params, mol_name = task
+            state = cache.get(name)
+            cold = state is None
+            if cold:
+                state = _WorkerState(
+                    SharedArrayBundle.attach(name, layout, pin=False),
+                    plan_meta, params, mol_name)
+                cache[name] = state
+                while len(cache) > WORKER_CACHE_ENTRIES:
+                    victim = next(k for k in cache if k != name)
+                    cache.pop(victim).release()
+            t0 = now()
+            energy = evaluate_pipeline(state.molecule, state.atoms,
+                                       state.quad, state.plans,
+                                       state.params,
+                                       eps_epol=state.params.eps_epol)
+            results.put(("ok", req_id, rank, energy, now() - t0, cold))
+        except BaseException:
+            results.put(("error", req_id, rank, traceback.format_exc(),
+                         0.0, False))
+
+
+class ProcessFleet:
+    """``P`` warm OS-process workers behind one task queue.
+
+    Requests race for workers (decoy-scoring is embarrassingly parallel
+    across requests), molecules are published to shared memory once per
+    epsilon configuration, and shutdown is idempotent with finalizer
+    backstops at every layer (pool processes, shared segments).
+    """
+
+    backend = "real"
+
+    def __init__(self, nworkers: int, *,
+                 start_method: str | None = None) -> None:
+        self.nworkers = nworkers
+        self._pool = PersistentWorkerPool(nworkers, _serve_worker_loop,
+                                          start_method=start_method)
+        self._lock = threading.Lock()
+        self._published: dict[tuple[str, EpsConfig], _Publication] = {}
+        self.publications = 0
+
+    # -- publication -----------------------------------------------------
+    def _ensure_published(self, entry: RegistryEntry,
+                          cfg: EpsConfig) -> _Publication:
+        pub_key = (entry.key, cfg)
+        with self._lock:
+            pub = self._published.get(pub_key)
+            if pub is not None:
+                return pub
+        # Plan build (cache-mediated) happens outside the fleet lock.
+        plans = entry.plans_for(cfg.eps_born, cfg.eps_epol)
+        params = dataclasses.replace(entry.params, eps_born=cfg.eps_born,
+                                     eps_epol=cfg.eps_epol)
+        bundle = SharedArrayBundle.create(_publication_arrays(entry, plans))
+        pub = _Publication(
+            bundle=bundle,
+            plan_meta={"born": plans.born.meta(), "epol": plans.epol.meta()},
+            params=params, mol_name=entry.molecule.name)
+        with self._lock:
+            race = self._published.get(pub_key)
+            if race is not None:  # another thread published first
+                bundle.unlink()
+                bundle.close()
+                return race
+            self._published[pub_key] = pub
+            self.publications += 1
+        return pub
+
+    def forget(self, entry: RegistryEntry) -> None:
+        """Registry-eviction hook: unpublish the entry's segments and tell
+        every worker to drop its cached state for them."""
+        with self._lock:
+            victims = [k for k in self._published if k[0] == entry.key]
+            pubs = [self._published.pop(k) for k in victims]
+        for pub in pubs:
+            if not self._pool.closed:
+                try:
+                    self._pool.broadcast(("forget", pub.bundle.name))
+                except PoolError:
+                    pass
+            pub.bundle.unlink()
+            pub.bundle.close()
+
+    # -- execution -------------------------------------------------------
+    def run_batch(self, items: list[tuple[int, RegistryEntry, EpsConfig]]
+                  ) -> dict[int, EvalResult]:
+        if self._pool.closed:
+            raise FleetError("fleet is shut down")
+        for req_id, entry, cfg in items:
+            pub = self._ensure_published(entry, cfg)
+            try:
+                self._pool.submit(("run", req_id, pub.bundle.name,
+                                   pub.bundle.layout, pub.plan_meta,
+                                   pub.params, pub.mol_name))
+            except PoolError as err:
+                raise FleetError(str(err)) from err
+        out: dict[int, EvalResult] = {}
+        try:
+            for _ in items:
+                kind, req_id, rank, payload, secs, cold = \
+                    self._pool.next_result()
+                if kind == "ok":
+                    out[req_id] = EvalResult(energy=payload, worker=rank,
+                                             eval_seconds=secs,
+                                             cold_attach=cold)
+                else:
+                    out[req_id] = EvalResult(energy=float("nan"),
+                                             worker=rank, eval_seconds=secs,
+                                             error=payload)
+        except PoolError as err:
+            raise FleetError(str(err)) from err
+        return out
+
+    # -- lifecycle -------------------------------------------------------
+    def shutdown(self) -> None:
+        """Stop workers and unlink every published segment.  Idempotent;
+        also reachable via GC finalizers on the pool and the bundles."""
+        self._pool.shutdown()
+        with self._lock:
+            pubs = list(self._published.values())
+            self._published.clear()
+        for pub in pubs:
+            pub.bundle.unlink()
+            pub.bundle.close()
+
+    def __enter__(self) -> "ProcessFleet":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.shutdown()

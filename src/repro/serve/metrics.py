@@ -1,0 +1,140 @@
+"""Serving metrics: latency, throughput, batching and cache accounting.
+
+This module is the serving subsystem's **only** wall-clock reader.
+repro-lint's REP003 gives every file under ``repro/serve/`` the
+``service`` role, which bans direct ``time.*`` calls; ``serve/metrics.py``
+is the single exempted clock home (see
+:data:`repro.analysis_static.rules.CLOCK_HOME_FILES`).  Every other serve
+module -- scheduler deadlines, worker evaluation spans, CLI wall time --
+takes timestamps through :func:`now`, so all latency accounting flows
+through one auditable door and none of it can leak into the deterministic
+energy path.
+
+:class:`ServeMetrics` is thread-safe: client threads record admissions,
+the scheduler thread records batches and completions, and
+:meth:`ServeMetrics.snapshot` may be read at any time.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+
+def now() -> float:
+    """Monotonic wall-clock seconds (the serving layer's latency clock)."""
+    return time.perf_counter()
+
+
+def _percentile(ordered: list[float], q: float) -> float:
+    """Nearest-rank percentile of an already-sorted sample (0 < q <= 100)."""
+    if not ordered:
+        return 0.0
+    rank = max(int(-(-q * len(ordered) // 100)), 1)  # ceil, 1-based
+    return ordered[rank - 1]
+
+
+class ServeMetrics:
+    """Counters + latency/batch-size samples for one server lifetime."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.accepted = 0
+        self.rejected = 0
+        self.completed = 0
+        self.failed = 0
+        self._latencies: list[float] = []
+        self._batch_sizes: list[int] = []
+        self._group_counts: list[int] = []
+        self._started_at = now()
+        self._first_submit: float | None = None
+        self._first_done: float | None = None
+        self._last_done: float | None = None
+
+    # -- recording (each from whichever thread observes the event) ------
+    def record_admission(self, accepted: bool) -> None:
+        t = now()
+        with self._lock:
+            if self._first_submit is None:
+                self._first_submit = t
+            if accepted:
+                self.accepted += 1
+            else:
+                self.rejected += 1
+
+    def record_batch(self, nrequests: int, ngroups: int) -> None:
+        with self._lock:
+            self._batch_sizes.append(int(nrequests))
+            self._group_counts.append(int(ngroups))
+
+    def record_done(self, latency_seconds: float, *, ok: bool) -> None:
+        t = now()
+        with self._lock:
+            if ok:
+                self.completed += 1
+                self._latencies.append(float(latency_seconds))
+            else:
+                self.failed += 1
+            if self._first_done is None:
+                self._first_done = t
+            self._last_done = t
+
+    # -- derived views ---------------------------------------------------
+    def latency_percentiles(self) -> dict[str, float]:
+        with self._lock:
+            ordered = sorted(self._latencies)
+        return {
+            "p50_ms": 1e3 * _percentile(ordered, 50),
+            "p95_ms": 1e3 * _percentile(ordered, 95),
+            "p99_ms": 1e3 * _percentile(ordered, 99),
+            "max_ms": 1e3 * (ordered[-1] if ordered else 0.0),
+            "mean_ms": 1e3 * (sum(ordered) / len(ordered)
+                              if ordered else 0.0),
+        }
+
+    def batch_histogram(self) -> dict[str, int]:
+        """How many batches executed at each batch size (JSON-keyed)."""
+        with self._lock:
+            sizes = list(self._batch_sizes)
+        hist: dict[str, int] = {}
+        for s in sizes:
+            hist[str(s)] = hist.get(str(s), 0) + 1
+        return dict(sorted(hist.items(), key=lambda kv: int(kv[0])))
+
+    def _span(self) -> float:
+        """Serving span: first submission (or construction) to last
+        completion.  Caller holds the lock."""
+        if self._last_done is None:
+            return 0.0
+        t0 = (self._first_submit if self._first_submit is not None
+              else self._started_at)
+        return max(self._last_done - t0, 0.0)
+
+    def throughput_rps(self) -> float:
+        """Completed requests per second over the serving span."""
+        with self._lock:
+            span = self._span()
+            return self.completed / span if span > 0 else 0.0
+
+    def snapshot(self) -> dict:
+        """One JSON-ready dict with everything above (BENCH_serve input)."""
+        with self._lock:
+            counts = {
+                "accepted": self.accepted,
+                "rejected": self.rejected,
+                "completed": self.completed,
+                "failed": self.failed,
+                "batches": len(self._batch_sizes),
+                "groups": sum(self._group_counts),
+                "mean_batch_size": (sum(self._batch_sizes)
+                                    / len(self._batch_sizes)
+                                    if self._batch_sizes else 0.0),
+            }
+            span = self._span()
+        return {
+            **counts,
+            "serving_span_seconds": span,
+            "throughput_rps": self.throughput_rps(),
+            "latency": self.latency_percentiles(),
+            "batch_histogram": self.batch_histogram(),
+        }

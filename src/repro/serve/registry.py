@@ -1,0 +1,259 @@
+"""Content-addressed molecule registry with a byte-budget LRU.
+
+A serving workload (scoring thousands of ZDOCK decoys) keeps re-asking
+for the same molecules; everything expensive about a request -- surface
+sampling, the two octrees, the interaction plans -- depends only on the
+molecule's *content* and the structural parameters.  The registry
+therefore keys each entry by a SHA-256 over the coordinate/radius/charge
+bytes plus a parameter fingerprint: registering the same conformation
+twice (even from a different ``Molecule`` object) lands on the same warm
+entry, while a perturbed decoy pose hashes elsewhere.
+
+Entries hold a :class:`~repro.core.driver.PolarizationEnergyCalculator`
+whose :class:`~repro.plan.cache.PlanCache` is byte-bounded, and the
+registry itself evicts least-recently-used entries by **measured** bytes
+(:func:`measured_nbytes` walks the entry's live arrays; no estimates)
+once an optional ``max_bytes`` budget is exceeded.  Eviction fires the
+``on_evict`` hook so the fleet can unpublish the entry's shared-memory
+segments and tell workers to drop their caches.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import threading
+from typing import Callable
+
+import numpy as np
+
+from ..core.driver import PolarizationEnergyCalculator
+from ..core.params import ApproximationParams
+from ..molecule.molecule import Molecule
+from ..plan import PlanCache, PlanSet
+
+
+def content_key(molecule: Molecule, params: ApproximationParams) -> str:
+    """Stable content hash of a (molecule, structural parameters) pair.
+
+    Hashes the raw float64 bytes of positions/radii/charges plus the
+    dataclass repr of ``params`` (deterministic for a frozen field set),
+    so the key changes iff something that could change served energies
+    or prepared state changes.
+    """
+    h = hashlib.sha256()
+    for arr in (molecule.positions, molecule.radii, molecule.charges):
+        h.update(np.ascontiguousarray(arr, dtype=np.float64).tobytes())
+    h.update(repr(params).encode())
+    return h.hexdigest()[:16]
+
+
+def measured_nbytes(root: object) -> int:
+    """Sum of distinct NumPy buffer bytes reachable from ``root``.
+
+    Walks dataclasses, plain ``repro`` objects, dicts, lists and tuples
+    (cycle-guarded, depth-limited); views are charged once via their base
+    buffer.  This is what the registry's byte budget meters -- the arrays
+    an entry actually pins in memory, not a guess.
+    """
+    seen: set[int] = set()
+    counted: set[int] = set()
+    total = 0
+    stack: list[tuple[object, int]] = [(root, 0)]
+    while stack:
+        obj, depth = stack.pop()
+        if obj is None or depth > 8 or id(obj) in seen:
+            continue
+        seen.add(id(obj))
+        if isinstance(obj, np.ndarray):
+            base = obj
+            while isinstance(base.base, np.ndarray):
+                base = base.base
+            if id(base) not in counted:
+                counted.add(id(base))
+                total += int(base.nbytes)
+        elif isinstance(obj, dict):
+            stack.extend((v, depth + 1) for v in obj.values())
+        elif isinstance(obj, (list, tuple)):
+            stack.extend((v, depth + 1) for v in obj)
+        elif dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+            stack.extend((getattr(obj, f.name), depth + 1)
+                         for f in dataclasses.fields(obj))
+        elif type(obj).__module__.startswith("repro") and hasattr(obj, "__dict__"):
+            stack.extend((v, depth + 1) for v in vars(obj).values())
+    return total
+
+
+@dataclasses.dataclass
+class RegistryEntry:
+    """One warm molecule: its calculator (surface/trees/plan cache) and
+    the measured footprint the LRU budget charges it for."""
+
+    key: str
+    molecule: Molecule
+    calc: PolarizationEnergyCalculator
+    nbytes: int = 0
+
+    @property
+    def params(self) -> ApproximationParams:
+        return self.calc.params
+
+    def plans_for(self, eps_born: float, eps_epol: float) -> PlanSet:
+        """The entry's cached plans for one epsilon configuration (built
+        through the calculator's bounded :class:`PlanCache`)."""
+        return PlanSet(born=self.calc.born_plan(eps_born),
+                       epol=self.calc.epol_plan(eps_epol))
+
+    def warm(self) -> None:
+        """Build surface, trees and the default-configuration plans, then
+        re-measure the entry's footprint."""
+        self.calc.prepare_surface()
+        self.calc.atom_tree()
+        self.calc.quad_tree()
+        self.calc.plans()
+        self.remeasure()
+
+    def remeasure(self) -> int:
+        self.nbytes = measured_nbytes(self.calc)
+        return self.nbytes
+
+
+class MoleculeRegistry:
+    """Thread-safe content-hash -> :class:`RegistryEntry` LRU store.
+
+    Parameters
+    ----------
+    max_bytes:
+        Optional budget over the summed measured entry footprints;
+        exceeded -> least-recently-used entries are evicted (never the
+        entry just registered/fetched).  ``None`` = unbounded.
+    plan_cache_bytes:
+        Per-entry :class:`~repro.plan.cache.PlanCache` budget, so an
+        epsilon-scanning client cannot grow one entry forever.
+    on_evict:
+        ``fn(entry)`` called (outside the hot path, inside the registry
+        lock) whenever an entry is dropped -- the serving fleet uses it to
+        unpublish shared memory.
+    """
+
+    def __init__(self, *, max_bytes: int | None = None,
+                 plan_cache_bytes: int | None = None,
+                 on_evict: Callable[[RegistryEntry], None] | None = None
+                 ) -> None:
+        if max_bytes is not None and max_bytes < 0:
+            raise ValueError("max_bytes must be >= 0 (or None)")
+        self.max_bytes = max_bytes
+        self.plan_cache_bytes = plan_cache_bytes
+        self.on_evict = on_evict
+        self._lock = threading.RLock()
+        self._entries: dict[str, RegistryEntry] = {}  # insertion = recency
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    @property
+    def current_bytes(self) -> int:
+        with self._lock:
+            # Integer byte counts (addition order free).
+            return sum(e.nbytes  # repro-lint: disable=REP001
+                       for e in self._entries.values())
+
+    def keys(self) -> list[str]:
+        """Registered keys, least- to most-recently-used."""
+        with self._lock:
+            return list(self._entries)
+
+    # -- core operations ------------------------------------------------
+    def register(self, molecule: Molecule,
+                 params: ApproximationParams | None = None, *,
+                 warm: bool = True) -> str:
+        """Idempotently register ``molecule``; returns its content key.
+
+        A repeated registration of identical content is a cache hit (the
+        existing warm entry is refreshed to most-recently-used); new
+        content builds an entry, optionally pre-warming surface, trees
+        and default plans so the first request pays no cold start.
+        """
+        params = params if params is not None else ApproximationParams()
+        key = content_key(molecule, params)
+        with self._lock:
+            if key in self._entries:
+                self.hits += 1
+                self._entries[key] = self._entries.pop(key)
+                return key
+            self.misses += 1
+            calc = PolarizationEnergyCalculator(molecule, params)
+            # The entry's plan cache is byte-bounded so per-request epsilon
+            # overrides cannot grow it without limit.
+            calc._plan_cache = PlanCache(max_bytes=self.plan_cache_bytes)
+            entry = RegistryEntry(key=key, molecule=molecule, calc=calc)
+            if warm:
+                entry.warm()
+            else:
+                entry.remeasure()
+            self._entries[key] = entry
+            self._evict_over_budget(protect=key)
+            return key
+
+    def get(self, key: str) -> RegistryEntry:
+        """The entry for ``key`` (refreshed to most-recently-used)."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                raise KeyError(
+                    f"molecule {key!r} is not registered (evicted, or never "
+                    "submitted through register())")
+            self.hits += 1
+            self._entries[key] = self._entries.pop(key)
+            return entry
+
+    def _evict_over_budget(self, *, protect: str) -> None:
+        if self.max_bytes is None:
+            return
+        while (self.current_bytes > self.max_bytes
+               and len(self._entries) > 1):
+            victim_key = next(k for k in self._entries if k != protect)
+            self._evict(victim_key)
+
+    def _evict(self, key: str) -> None:
+        entry = self._entries.pop(key)
+        self.evictions += 1
+        if self.on_evict is not None:
+            self.on_evict(entry)
+
+    def clear(self) -> None:
+        """Drop every entry (each through the eviction hook)."""
+        with self._lock:
+            for key in list(self._entries):
+                self._evict(key)
+
+    # -- reporting -------------------------------------------------------
+    def stats(self) -> dict:
+        with self._lock:
+            plan_stats = [e.calc.plan_cache().stats()
+                          for e in self._entries.values()]
+            return {
+                "entries": len(self._entries),
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "current_bytes": self.current_bytes,
+                "max_bytes": self.max_bytes,
+                "plan_cache": {
+                    "plans": sum(s["plans"] for s in plan_stats),
+                    "hits": sum(s["hits"] for s in plan_stats),
+                    "misses": sum(s["misses"] for s in plan_stats),
+                    "evictions": sum(s["evictions"] for s in plan_stats),
+                    "current_bytes": sum(s["current_bytes"]
+                                         for s in plan_stats),
+                },
+            }

@@ -1,0 +1,13 @@
+# repro-lint: roles=service
+"""REP003 service-role fixture: wall-clock reads outside the serving
+layer's clock home (``repro/serve/metrics.py``)."""
+
+import time
+
+
+def request_latency(submitted_at: float) -> float:
+    return time.perf_counter() - submitted_at  # BAD: use serve.metrics.now
+
+
+def batch_window_open() -> float:
+    return time.monotonic()  # BAD: service code must import the one clock

@@ -195,6 +195,65 @@ class TestPlanCache:
         assert calc.plan_cache().stats()["misses"] == misses0 + 3
 
 
+class TestPlanCacheBudget:
+    """The optional byte-budget LRU (serving satellite): default stays
+    unbounded, a budget evicts least-recently-used plans by measured
+    ``nbytes`` and counts evictions -- never the plan just built."""
+
+    def _builder(self, small_calc, eps):
+        return lambda: build_epol_plan(small_calc.atom_tree(), eps)
+
+    def test_default_is_unbounded(self, small_calc):
+        cache = PlanCache()
+        for eps in (0.2, 0.4, 0.6, 0.8):
+            cache.get_or_build(epol_key(eps), self._builder(small_calc, eps))
+        stats = cache.stats()
+        assert stats["plans"] == 4 and stats["evictions"] == 0
+        assert stats["max_bytes"] is None
+        assert stats["current_bytes"] > 0
+
+    def test_budget_evicts_lru_and_counts(self, small_calc):
+        one_plan = build_epol_plan(small_calc.atom_tree(), 0.5).nbytes
+        cache = PlanCache(max_bytes=int(one_plan * 1.5))
+        for eps in (0.2, 0.4, 0.6):
+            cache.get_or_build(epol_key(eps), self._builder(small_calc, eps))
+        stats = cache.stats()
+        assert stats["evictions"] >= 1
+        assert stats["plans"] < 3
+        # The most recent configuration always survives.
+        misses0 = stats["misses"]
+        cache.get_or_build(epol_key(0.6), self._builder(small_calc, 0.6))
+        assert cache.stats()["misses"] == misses0  # pure hit
+
+    def test_just_built_plan_never_evicted(self, small_calc):
+        cache = PlanCache(max_bytes=1)  # absurd budget
+        plan = cache.get_or_build(epol_key(0.5),
+                                  self._builder(small_calc, 0.5))
+        assert plan is not None
+        assert cache.stats()["plans"] == 1  # kept despite busting budget
+        # A second build evicts the old one, keeps the new one.
+        cache.get_or_build(epol_key(0.7), self._builder(small_calc, 0.7))
+        assert cache.stats()["plans"] == 1
+        assert cache.stats()["evictions"] == 1
+
+    def test_hit_refreshes_recency(self, small_calc):
+        one_plan = build_epol_plan(small_calc.atom_tree(), 0.5).nbytes
+        cache = PlanCache(max_bytes=int(one_plan * 2.5))
+        cache.get_or_build(epol_key(0.2), self._builder(small_calc, 0.2))
+        cache.get_or_build(epol_key(0.4), self._builder(small_calc, 0.4))
+        cache.get_or_build(epol_key(0.2), self._builder(small_calc, 0.2))
+        # 0.4 is now LRU; the third insert evicts it, not 0.2.
+        cache.get_or_build(epol_key(0.6), self._builder(small_calc, 0.6))
+        misses0 = cache.stats()["misses"]
+        cache.get_or_build(epol_key(0.2), self._builder(small_calc, 0.2))
+        assert cache.stats()["misses"] == misses0  # 0.2 survived
+
+    def test_plan_nbytes_counts_all_arrays(self, born_plan):
+        total = sum(getattr(born_plan, f).nbytes
+                    for f in PLAN_ARRAY_FIELDS)
+        assert born_plan.nbytes == total > 0
+
+
 class TestPlanStats:
     def test_tile_histogram_covers_all_rows(self, born_plan):
         hist = tile_histogram(born_plan)

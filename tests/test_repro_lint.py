@@ -146,6 +146,27 @@ class TestScoping:
                 lint_source(src, "src/repro/parallel/cilk/scheduler.py")] \
             == ["REP003"]
 
+    def test_service_role_inferred_for_serve_tree(self):
+        roles = infer_roles("src/repro/serve/scheduler.py")
+        assert "service" in roles
+        assert "service" not in infer_roles("src/repro/core/energy.py")
+
+    def test_wallclock_confined_to_serve_metrics(self):
+        """REP003 in the serving layer: only serve/metrics.py may read the
+        wall clock; every other serve module must import its ``now``."""
+        src = "import time\nt = time.perf_counter()\n"
+        assert lint_source(src, "src/repro/serve/metrics.py") == []
+        for module in ("client.py", "scheduler.py", "fleet.py",
+                       "registry.py"):
+            findings = lint_source(src, f"src/repro/serve/{module}")
+            assert [f.rule for f in findings] == ["REP003"], module
+
+    def test_service_fixture_fires_only_rep003(self):
+        findings = lint_paths([FIXTURES / "bad_service_clock.py"])
+        assert findings
+        assert {f.rule for f in findings} == {"REP003"}
+        assert all("service" in f.message for f in findings)
+
     def test_multiprocessing_allowed_in_procpool(self):
         src = "from multiprocessing import shared_memory\n"
         assert lint_source(src, "src/repro/parallel/procpool/shm.py") == []

@@ -1,0 +1,78 @@
+"""Property tests: serving is order- and batching-insensitive.
+
+The serving determinism contract says arrival order, batch boundaries and
+grouping can only change *when* a request evaluates, never *what* it
+returns.  Hypothesis drives randomized submission orders and batching
+configurations through one warm server and checks every served energy
+against the cold serial reference, bit for bit.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.driver import PolarizationEnergyCalculator
+from repro.molecule.generators import protein_blob
+from repro.serve import EpolServer, InlineFleet, ServeClient, ServeConfig
+
+#: Tiny distinct molecules; the property re-serves them many times.
+_MOLECULES = [protein_blob(60 + 15 * i, seed=90 + i) for i in range(3)]
+_REFERENCE: dict[str, float] = {}
+_SERVER: EpolServer | None = None
+
+
+def _server() -> EpolServer:
+    """One warm inline server shared across examples (module-lazy so
+    collection stays cheap; torn down by the last test below)."""
+    global _SERVER
+    if _SERVER is None:
+        _SERVER = EpolServer(
+            fleet=InlineFleet(),
+            config=ServeConfig(max_batch=4, max_wait_seconds=0.0))
+        _SERVER.start()
+        for mol in _MOLECULES:
+            key = _SERVER.register(mol)
+            _REFERENCE[key] = PolarizationEnergyCalculator(mol).run().energy
+    return _SERVER
+
+
+class TestOrderInsensitivity:
+    @given(order=st.permutations(list(range(3)) * 3))
+    @settings(max_examples=25, deadline=None)
+    def test_submission_order_never_changes_energies(self, order):
+        server = _server()
+        client = ServeClient(server)
+        keys = list(_REFERENCE)
+        futs = [(keys[i], client.submit(key=keys[i], retries=1000))
+                for i in order]
+        for key, fut in futs:
+            assert fut.result(timeout=120.0) == _REFERENCE[key]
+
+    @given(batch=st.integers(min_value=1, max_value=9),
+           wait_ms=st.sampled_from([0.0, 0.5, 2.0]),
+           order=st.permutations(list(range(3)) * 2))
+    @settings(max_examples=15, deadline=None)
+    def test_batch_shape_never_changes_energies(self, batch, wait_ms,
+                                                order):
+        """A fresh server per example: every (max_batch, window) shape
+        produces the same bits as the reference run."""
+        _server()  # ensure the reference energies exist
+        server = EpolServer(
+            fleet=InlineFleet(),
+            config=ServeConfig(max_batch=batch,
+                               max_wait_seconds=wait_ms / 1e3))
+        with server:
+            client = ServeClient(server)
+            keys = [client.register(m) for m in _MOLECULES]
+            futs = [(keys[i], client.submit(key=keys[i], retries=1000))
+                    for i in order]
+            for key, fut in futs:
+                assert fut.result(timeout=120.0) == _REFERENCE[key]
+
+    def test_zz_teardown_shared_server(self):
+        """Last test in the module: stop the shared warm server."""
+        global _SERVER
+        if _SERVER is not None:
+            _SERVER.stop()
+            _SERVER = None

@@ -104,6 +104,87 @@ class TestDoubleUnlink:
             owner.unlink()
 
 
+class TestUnpinnedAttach:
+    """Serving workers attach with ``pin=False`` so evicted molecules can
+    actually unmap; close() stays safe even if a view escapes."""
+
+    def test_unpinned_close_after_dropping_views(self):
+        owner = SharedArrayBundle.create({"x": np.arange(4.0)})
+        try:
+            worker = SharedArrayBundle.attach(owner.name, owner.layout,
+                                              pin=False)
+            v = worker.view("x")
+            assert v[1] == 1.0
+            del v
+            worker.close()  # real close: views gone, must not raise
+            with pytest.raises((ValueError, TypeError)):
+                worker.view("x")
+        finally:
+            owner.close()
+            owner.unlink()
+
+    def test_unpinned_close_with_escaped_view_disarms(self):
+        owner = SharedArrayBundle.create({"x": np.arange(4.0)})
+        try:
+            worker = SharedArrayBundle.attach(owner.name, owner.layout,
+                                              pin=False)
+            escaped = worker.view("x")
+            worker.close()  # BufferError swallowed, __del__ disarmed
+            assert escaped[2] == 2.0  # mapping intentionally still alive
+        finally:
+            owner.close()
+            owner.unlink()
+
+
+class TestFinalizerBackstops:
+    """Owned segments are reaped at GC (serving-fleet hygiene): dropping
+    an owner without unlink() must not leave /dev/shm litter."""
+
+    def test_gc_unlinks_abandoned_owner(self):
+        import gc
+        from pathlib import Path
+
+        bundle = SharedArrayBundle.create({"x": np.zeros(16)})
+        name = bundle.name
+        assert (Path("/dev/shm") / name).exists()
+        del bundle
+        gc.collect()
+        assert not (Path("/dev/shm") / name).exists()
+
+    def test_explicit_unlink_detaches_finalizer(self):
+        bundle = SharedArrayBundle.create({"x": np.zeros(4)})
+        bundle.unlink()
+        assert not bundle._finalizer.alive
+        bundle.close()
+
+    def test_attach_does_not_register_with_resource_tracker(self):
+        """A subprocess that only *attaches* must exit without its
+        resource tracker warning about (or unlinking) the segment."""
+        owner = SharedArrayBundle.create({"x": np.arange(8.0)})
+        try:
+            script = textwrap.dedent(f"""
+                from repro.parallel.procpool.shm import (SharedArrayBundle,
+                                                         _ArraySpec)
+                layout = {owner.layout!r}
+                bundle = SharedArrayBundle.attach({owner.name!r}, layout,
+                                                  pin=False)
+                assert bundle.view("x")[3] == 3.0
+                bundle.close()
+            """)
+            env = dict(os.environ, PYTHONPATH=str(REPO / "src"))
+            proc = subprocess.run([sys.executable, "-c", script],
+                                  capture_output=True, text=True, env=env)
+            assert proc.returncode == 0, proc.stderr
+            assert "resource_tracker" not in proc.stderr
+            # The attacher's exit must not have torn the segment down.
+            check = SharedArrayBundle.attach(owner.name, owner.layout)
+            assert check.view("x")[5] == 5.0
+            check.close()
+        finally:
+            owner.close()
+            owner.unlink()
+
+
 class TestZeroOverheadDisabled:
     """Regression: with the race detector off, the shm classes allocate
     no shadow state and hand out base ndarrays."""
