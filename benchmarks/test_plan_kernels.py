@@ -55,7 +55,7 @@ def test_plan_executor_speedup(results_dir):
     t_perleaf_b, ref_b = _best_of(repeats, lambda: approx_integrals_perleaf(
         atoms, quad, quad.tree.leaves, eps_b, mac_variant=variant))
     t_build_b, born_plan = _best_of(repeats, lambda: build_born_plan(
-        atoms, quad, eps_b, mac_variant=variant))
+        atoms, quad, eps_b, mac_variant=variant, timer=time.perf_counter))
     t_exec_b, got_b = _best_of(repeats, lambda: execute_born_plan(
         born_plan, atoms, quad))
     assert np.array_equal(got_b.s_atom, ref_b.s_atom)
@@ -67,7 +67,7 @@ def test_plan_executor_speedup(results_dir):
     t_perleaf_e, ref_e = _best_of(repeats, lambda: approx_epol_perleaf(
         ectx, atoms.tree.leaves, eps_e))
     t_build_e, epol_plan = _best_of(repeats, lambda: build_epol_plan(
-        atoms, eps_e))
+        atoms, eps_e, timer=time.perf_counter))
     t_exec_e, got_e = _best_of(repeats, lambda: execute_epol_plan(
         epol_plan, ectx))
     assert got_e.pair_sum == ref_e.pair_sum

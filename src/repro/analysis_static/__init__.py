@@ -12,7 +12,12 @@ conventions:
 This package makes those conventions *executable*:
 
 * :mod:`.linter` / :mod:`.rules` -- ``repro-lint``, an AST pass with
-  repo-specific rules (REP001..REP005), driven by ``python -m repro.lint``;
+  repo-specific rules (REP001..REP007), driven by ``python -m repro.lint``;
+* :mod:`.verify` -- ``repro-verify``, the whole-program pass
+  (interprocedural effect inference, shm typestate, static
+  collective-matching), driven by ``python -m repro.verify``;
+* :mod:`.baseline` -- the shared fingerprint-baseline ratchet used by
+  both CLIs' ``--baseline`` flags;
 * :mod:`.races` -- an opt-in shadow-tracking write-intent recorder for
   :class:`~repro.parallel.procpool.shm.SharedArrayBundle` /
   :class:`~repro.parallel.procpool.shm.ScratchBuffer` that reports
@@ -25,6 +30,7 @@ This package makes those conventions *executable*:
 See ``docs/ANALYSIS.md`` for the rule catalogue and the epoch model.
 """
 
+from .baseline import BaselineError, load_baseline, write_baseline
 from .checks import (DeterminismReport, ReproCheckError, checks_enabled)
 from .linter import Finding, lint_file, lint_paths, lint_source
 from .ordering import (CollectiveLog, CollectiveRecord, OrderingReport,
@@ -34,6 +40,7 @@ from .races import (RaceFinding, TrackedArray, WriteIntent,
 from .rules import RULES, Rule
 
 __all__ = [
+    "BaselineError",
     "CollectiveLog",
     "CollectiveRecord",
     "DeterminismReport",
@@ -52,5 +59,7 @@ __all__ = [
     "lint_file",
     "lint_paths",
     "lint_source",
+    "load_baseline",
     "tracked_view",
+    "write_baseline",
 ]

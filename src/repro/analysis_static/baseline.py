@@ -1,0 +1,47 @@
+"""Findings-baseline files shared by repro-lint and repro-verify.
+
+A baseline is a reviewed snapshot of accepted findings.  CI runs with
+``--baseline FILE`` and fails only on findings *not* in the snapshot, so
+a rule (or checker) can ship before the last legacy finding is fixed
+without losing the ratchet on new code.
+
+Fingerprints are deliberately line-number free
+(``CHECK|path|function|message`` for verify, ``RULE|path|message`` for
+lint) so unrelated edits above a finding do not invalidate the
+baseline; the file itself is sorted JSON and meant to be committed.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable
+
+_VERSION = 1
+
+
+class BaselineError(ValueError):
+    """Raised for unreadable or malformed baseline files."""
+
+
+def load_baseline(path: Path) -> set[str]:
+    try:
+        data = json.loads(path.read_text())
+    except FileNotFoundError as exc:
+        raise BaselineError(f"baseline file not found: {path}") from exc
+    except (OSError, json.JSONDecodeError) as exc:
+        raise BaselineError(f"unreadable baseline {path}: {exc}") from exc
+    if not isinstance(data, dict) or not isinstance(data.get("fingerprints"), list):
+        raise BaselineError(
+            f"malformed baseline {path}: expected "
+            '{"version": 1, "fingerprints": [...]}'
+        )
+    return {str(fp) for fp in data["fingerprints"]}
+
+
+def write_baseline(path: Path, fingerprints: Iterable[str]) -> None:
+    payload = {
+        "version": _VERSION,
+        "fingerprints": sorted(set(fingerprints)),
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")

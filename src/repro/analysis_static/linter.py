@@ -44,6 +44,17 @@ _BAD_DTYPES = frozenset({
 #: (REP002's manual-rank-loop heuristic).
 _RANK_COUNT_MARKERS = ("size", "nranks", "nworkers", "ranks_per_node", "P")
 
+#: ``np.random`` draws that are fine *when made through a seeded Generator*
+#: but unreproducible as module-level calls (REP007): the legacy global
+#: state underneath ``np.random.normal()`` et al. has no recorded seed.
+_SEEDED_RNG_CTORS = frozenset({
+    "default_rng", "RandomState", "SeedSequence", "Generator", "Philox",
+    "PCG64", "PCG64DXSM", "MT19937", "SFC64",
+})
+
+#: ``random``-module entry points that never take a seed (REP007).
+_ALWAYS_UNSEEDED = frozenset({"SystemRandom"})
+
 
 @dataclass(frozen=True)
 class Finding:
@@ -55,6 +66,11 @@ class Finding:
     col: int
     message: str
     hint: str
+
+    def fingerprint(self) -> str:
+        """Line-number-free identity used by ``--baseline`` files, so a
+        recorded finding survives unrelated edits above it."""
+        return f"{self.rule}|{self.path}|{self.message}"
 
     def format(self) -> str:
         return (f"{self.path}:{self.line}:{self.col}: {self.rule} "
@@ -115,6 +131,9 @@ class _Visitor(ast.NodeVisitor):
         self.raw: list[Finding] = []
         self._time_aliases: set[str] = set()
         self._module_aliases: set[str] = set()
+        self._random_aliases: set[str] = set()
+        self._random_from: dict[str, str] = {}
+        self._nprandom_from: dict[str, str] = {}
 
     def _emit(self, rule_id: str, node: ast.AST, message: str) -> None:
         if not self.active.get(rule_id, False):
@@ -132,6 +151,8 @@ class _Visitor(ast.NodeVisitor):
             root = alias.name.split(".", 1)[0]
             if alias.name == "time" or alias.name.startswith("time."):
                 self._module_aliases.add(alias.asname or root)
+            if alias.name == "random":
+                self._random_aliases.add(alias.asname or "random")
             if root == "multiprocessing":
                 self._emit("REP004", node,
                            f"import of {alias.name!r} outside procpool/")
@@ -143,18 +164,25 @@ class _Visitor(ast.NodeVisitor):
             for alias in node.names:
                 if alias.name in _WALLCLOCK_ATTRS:
                     self._time_aliases.add(alias.asname or alias.name)
+        if mod == "random":
+            for alias in node.names:
+                self._random_from[alias.asname or alias.name] = alias.name
+        if mod == "numpy.random":
+            for alias in node.names:
+                self._nprandom_from[alias.asname or alias.name] = alias.name
         if mod.split(".", 1)[0] == "multiprocessing":
             names = ", ".join(a.name for a in node.names)
             self._emit("REP004", node,
                        f"'from {mod} import {names}' outside procpool/")
         self.generic_visit(node)
 
-    # -- calls (REP001, REP002, REP003, REP005) ------------------------
+    # -- calls (REP001, REP002, REP003, REP005, REP007) ----------------
     def visit_Call(self, node: ast.Call) -> None:
         self._check_unordered_sum(node)
         self._check_foreign_reduction(node)
         self._check_wallclock(node)
         self._check_dtype(node)
+        self._check_rng(node)
         self.generic_visit(node)
 
     def _check_unordered_sum(self, node: ast.Call) -> None:
@@ -240,6 +268,49 @@ class _Visitor(ast.NodeVisitor):
                 self._emit("REP005", node,
                            f"explicit dtype {leaf!r} in an energy kernel "
                            "(contract is float64)")
+
+    def _check_rng(self, node: ast.Call) -> None:
+        """REP007: random-number draws outside the RNG home.
+
+        Seeded constructors (``default_rng(seed)``, ``Random(seed)``) and
+        explicit ``seed()`` calls pass; zero-argument constructors and the
+        module-level draws (``np.random.normal``, ``random.random``) that
+        read hidden global state are flagged.
+        """
+        func = node.func
+        origin: str | None = None
+        leaf: str | None = None
+        if isinstance(func, ast.Attribute):
+            base = func.value
+            if (isinstance(base, ast.Attribute) and base.attr == "random"
+                    and isinstance(base.value, ast.Name)
+                    and base.value.id in _NUMPY_ALIASES):
+                origin, leaf = "np.random", func.attr
+            elif isinstance(base, ast.Name) \
+                    and base.id in self._random_aliases:
+                origin, leaf = "random", func.attr
+        elif isinstance(func, ast.Name):
+            if func.id in self._nprandom_from:
+                origin, leaf = "np.random", self._nprandom_from[func.id]
+            elif func.id in self._random_from:
+                origin, leaf = "random", self._random_from[func.id]
+        if origin is None or leaf is None or leaf == "seed":
+            return
+        if leaf in _ALWAYS_UNSEEDED:
+            self._emit("REP007", node,
+                       f"{origin}.{leaf}() cannot be seeded and is "
+                       "unreproducible by construction")
+            return
+        seedable = (leaf in _SEEDED_RNG_CTORS
+                    or (origin == "random" and leaf == "Random"))
+        if seedable:
+            if not node.args and not node.keywords:
+                self._emit("REP007", node,
+                           f"unseeded {origin}.{leaf}() (pass an explicit "
+                           "seed)")
+            return
+        self._emit("REP007", node,
+                   f"{origin}.{leaf}() draws from hidden global RNG state")
 
     # -- bare for-loops (REP002 rank reductions, REP006 leaf loops) ----
     def visit_For(self, node: ast.For) -> None:

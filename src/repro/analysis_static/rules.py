@@ -41,6 +41,14 @@ CLOCK_HOME_FILES = (
     "serve/metrics.py",
 )
 
+#: The only production file allowed to draw random numbers (always from an
+#: explicit seed): the molecule generators.  Tests and benchmarks also
+#: carry the ``rng`` role -- they seed their own fixtures (REP007
+#: exemption).
+RNG_HOME_FILES = (
+    "molecule/generators.py",
+)
+
 _ROLES_RE = re.compile(r"#\s*repro-lint:\s*roles=([A-Za-z0-9_,\- ]+)")
 _DISABLE_RE = re.compile(r"#\s*repro-lint:\s*disable=([A-Za-z0-9_, ]+)")
 
@@ -116,13 +124,38 @@ RULES: dict[str, Rule] = {r.id: r for r in (
               "Python loop reintroduces exactly the interpreter overhead "
               "the plan/execute split removes"),
     ),
+    Rule(
+        id="REP007",
+        title="unseeded random-number generation outside the RNG home",
+        roles=frozenset({"rng"}),
+        hint=("randomness enters the pipeline only through "
+              "molecule/generators.py, and always from an explicit seed; "
+              "np.random.default_rng()/np.random.normal()/random.random() "
+              "without a seed makes runs unreproducible -- thread an "
+              "np.random.Generator built from a seed through instead"),
+        invert_roles=True,
+    ),
 )}
+
+
+def is_rng_home(path: str) -> bool:
+    """Whether ``path`` may draw random numbers (REP007 exemption):
+    the seeded molecule generators, plus tests and benchmarks."""
+    posix = PurePosixPath(path).as_posix()
+    if any(posix.endswith(home) for home in RNG_HOME_FILES):
+        return True
+    parts = PurePosixPath(path).parts
+    name = PurePosixPath(path).name
+    return ("tests" in parts or "benchmarks" in parts
+            or name.startswith("test_") or name == "conftest.py")
 
 
 def infer_roles(path: str) -> frozenset[str]:
     """Derive the role set of a file from its (posix) path components."""
     parts = set(PurePosixPath(path).parts)
     roles: set[str] = set()
+    if is_rng_home(path):
+        roles.add("rng")
     if "procpool" in parts:
         roles.add("procpool")
     if "simmpi" in parts or "cilk" in parts:

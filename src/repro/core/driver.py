@@ -146,6 +146,8 @@ class PolarizationEnergyCalculator:
                   disable_far: bool = False):
         """The cached whole-tree Born interaction plan for ``eps``
         (default: ``params.eps_born``)."""
+        import time
+
         from ..plan import build_born_plan
         from ..plan.cache import born_key
         eps = self.params.eps_born if eps is None else float(eps)
@@ -154,20 +156,24 @@ class PolarizationEnergyCalculator:
         return self.plan_cache().get_or_build(
             key, lambda: build_born_plan(self.atom_tree(), self.quad_tree(),
                                          eps, disable_far=disable_far,
-                                         mac_variant=variant))
+                                         mac_variant=variant,
+                                         timer=time.perf_counter))
 
     def epol_plan(self, eps: float | None = None, *,
                   disable_far: bool = False):
         """The cached whole-tree energy interaction plan for ``eps``
         (default: ``params.eps_epol``).  Reused across the Fig. 10
         epsilon sweep -- the plan depends on the tree and ``eps`` only."""
+        import time
+
         from ..plan import build_epol_plan
         from ..plan.cache import epol_key
         eps = self.params.eps_epol if eps is None else float(eps)
         key = epol_key(eps, disable_far=disable_far)
         return self.plan_cache().get_or_build(
             key, lambda: build_epol_plan(self.atom_tree(), eps,
-                                         disable_far=disable_far))
+                                         disable_far=disable_far,
+                                         timer=time.perf_counter))
 
     def plans(self):
         """Both default-configuration plans as a

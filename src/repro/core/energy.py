@@ -21,6 +21,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..analysis_static.verify.annotations import declares_effects
 from ..constants import EPSILON_WATER, gb_prefactor
 from ..octree.aggregate import node_histograms
 from ..octree.mac import epol_mac_multiplier
@@ -84,6 +85,7 @@ class EnergyContext:
                    node_hist=hist, pair_radius_sq=binning.pair_radius_sq())
 
 
+@declares_effects()
 def approx_epol(ctx: EnergyContext, v_leaves: np.ndarray,
                 eps: float, *, disable_far: bool = False,
                 per_leaf: list[WorkCounters] | None = None) -> EpolPartial:
@@ -162,6 +164,7 @@ def epol_from_pair_sum(pair_sum: float, *,
     return gb_prefactor(epsilon_solvent) * pair_sum
 
 
+@declares_effects()
 def epol_octree(ctx: EnergyContext, *, eps: float,
                 epsilon_solvent: float = EPSILON_WATER,
                 counters: WorkCounters | None = None) -> float:

@@ -23,6 +23,7 @@ import math
 
 import numpy as np
 
+from ..analysis_static.verify.annotations import declares_effects
 from .elements import ELEMENTS, PROTEIN_ATOM_DENSITY, PROTEIN_COMPOSITION
 from .molecule import Molecule
 
@@ -97,6 +98,7 @@ def _jittered_lattice_in_ball(rng: np.random.Generator, n: int,
     return np.ascontiguousarray(pts[order[:n]])
 
 
+@declares_effects("RNG")
 def protein_blob(natoms: int, *, seed: int, name: str | None = None,
                  density: float = PROTEIN_ATOM_DENSITY) -> Molecule:
     """Generate a globular protein analogue with ``natoms`` atoms.
@@ -121,6 +123,7 @@ def protein_blob(natoms: int, *, seed: int, name: str | None = None,
                     elements, name or f"protein-{natoms}")
 
 
+@declares_effects("RNG")
 def icosahedral_shell(natoms: int, *, seed: int, name: str | None = None,
                       thickness: float = 25.0,
                       density: float = PROTEIN_ATOM_DENSITY) -> Molecule:
@@ -173,6 +176,7 @@ def icosahedral_shell(natoms: int, *, seed: int, name: str | None = None,
                     elements, name or f"capsid-{natoms}")
 
 
+@declares_effects("RNG")
 def cmv_analogue(*, scale: float = 1.0, seed: int = 0) -> Molecule:
     """Cucumber-Mosaic-Virus-shell analogue.
 
@@ -184,12 +188,14 @@ def cmv_analogue(*, scale: float = 1.0, seed: int = 0) -> Molecule:
     return icosahedral_shell(natoms, seed=seed, name=f"CMV-analogue-{natoms}")
 
 
+@declares_effects("RNG")
 def btv_analogue(*, scale: float = 1.0, seed: int = 0) -> Molecule:
     """Blue-Tongue-Virus analogue (paper: 6M atoms) at the given scale."""
     natoms = max(100, int(round(BTV_FULL_ATOMS * scale)))
     return icosahedral_shell(natoms, seed=seed, name=f"BTV-analogue-{natoms}")
 
 
+@declares_effects("RNG")
 def two_body_complex(receptor_atoms: int, ligand_atoms: int, *, seed: int,
                      separation: float = 2.0) -> Molecule:
     """A receptor+ligand complex: two protein blobs placed ``separation``

@@ -31,6 +31,7 @@ import numpy as np
 
 from ...analysis_static.ordering import CollectiveLog
 from ...analysis_static.races import WriteIntentTracker
+from ...analysis_static.verify.annotations import declares_effects
 from .shm import ScratchBuffer
 
 
@@ -41,18 +42,22 @@ class ExecutionBackend(Protocol):
     rank: int
     size: int
 
+    @declares_effects("COLLECTIVE(allreduce)")
     def allreduce(self, arr: np.ndarray) -> np.ndarray:
         """Elementwise sum of every rank's array; all ranks get the result."""
         ...
 
+    @declares_effects("COLLECTIVE(allgather)")
     def allgather(self, arr: np.ndarray) -> list[np.ndarray]:
         """Every rank's array, as a list in rank order, on all ranks."""
         ...
 
+    @declares_effects("COLLECTIVE(reduce)")
     def reduce(self, value: float, *, root: int = 0) -> float | None:
         """Sum of every rank's scalar on ``root`` (None elsewhere)."""
         ...
 
+    @declares_effects("COLLECTIVE(barrier)")
     def barrier(self) -> None:
         """Block until every rank arrives."""
         ...
@@ -83,6 +88,7 @@ class SerialBackend:
         pass
 
 
+# repro-verify: allow=RV206(scratch is a pinned process-lifetime mapping; the pool unlinks it)
 class ProcessBackend:
     """Collectives across real processes via shared memory + a barrier.
 
@@ -143,6 +149,7 @@ class ProcessBackend:
         self._wait()
 
     # -- collectives ---------------------------------------------------
+    @declares_effects("COLLECTIVE(allreduce)", "MUTATES_SHARED")
     def allreduce(self, arr: np.ndarray) -> np.ndarray:
         self._record("allreduce", arr, op="sum")
         self._publish(arr)
@@ -152,6 +159,7 @@ class ProcessBackend:
         self._drain()
         return out.reshape(np.asarray(arr).shape)
 
+    @declares_effects("COLLECTIVE(allgather)", "MUTATES_SHARED")
     def allgather(self, arr: np.ndarray) -> list[np.ndarray]:
         self._record("allgather", arr)
         self._publish(arr)
@@ -161,6 +169,7 @@ class ProcessBackend:
         self._drain()
         return out
 
+    @declares_effects("COLLECTIVE(reduce)", "MUTATES_SHARED")
     def reduce(self, value: float, *, root: int = 0) -> float | None:
         self._record("reduce", float(value), op="sum", root=root)
         self._publish(np.array([float(value)]))
@@ -171,6 +180,7 @@ class ProcessBackend:
         self._drain()
         return result
 
+    @declares_effects("COLLECTIVE(barrier)")
     def barrier(self) -> None:
         self._record("barrier", None)
         self._wait()

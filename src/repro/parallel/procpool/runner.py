@@ -31,6 +31,7 @@ from ...analysis_static.checks import DeterminismReport, checks_enabled
 from ...analysis_static.ordering import CollectiveLog, diff_collective_logs
 from ...analysis_static.races import (WriteIntentTracker, find_races,
                                       intents_from_payload)
+from ...analysis_static.verify.annotations import declares_effects
 from ...core.born import (AtomTreeData, BornPartial, QuadTreeData,
                           push_integrals_to_atoms)
 from ...core.energy import EnergyContext
@@ -70,6 +71,8 @@ class RankReport:
     collectives: list[tuple] = field(default_factory=list)
 
 
+@declares_effects("CLOCK", "COLLECTIVE(allreduce)", "COLLECTIVE(allgather)",
+                  "COLLECTIVE(reduce)", "COLLECTIVE(barrier)")
 def rank_program(backend: ExecutionBackend, atoms: AtomTreeData,
                  quad: QuadTreeData, params: ApproximationParams, *,
                  max_radius: float,
@@ -106,8 +109,9 @@ def rank_program(backend: ExecutionBackend, atoms: AtomTreeData,
         t0 = timer()
         plans = PlanSet(
             born=build_born_plan(atoms, quad, params.eps_born,
-                                 mac_variant=params.born_mac_variant),
-            epol=build_epol_plan(atoms, params.eps_epol))
+                                 mac_variant=params.born_mac_variant,
+                                 timer=timer),
+            epol=build_epol_plan(atoms, params.eps_epol, timer=timer))
         mark("plan_build", timer() - t0,
              born_rows=plans.born.nrows, epol_rows=plans.epol.nrows,
              far_pairs=int(plans.born.far_counts.sum()

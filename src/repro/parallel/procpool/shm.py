@@ -22,8 +22,10 @@ from multiprocessing import shared_memory
 import numpy as np
 
 from ...analysis_static.races import WriteIntentTracker, tracked_view
+from ...analysis_static.verify.annotations import declares_effects
 
 
+@declares_effects("SHM_CLOSE", "SHM_UNLINK")
 def _reap_segment(shm: shared_memory.SharedMemory) -> None:
     """Best-effort unlink+close of an *owned* segment at finalization.
 
@@ -34,6 +36,7 @@ def _reap_segment(shm: shared_memory.SharedMemory) -> None:
     goal is "no ``/dev/shm`` litter", not an error.
     """
     try:
+        # repro-verify: allow=RV205(finalizer backstop: name must die even if close fails)
         shm.unlink()
     except (FileNotFoundError, OSError):
         pass
@@ -56,6 +59,7 @@ def _keep_mapped(shm: shared_memory.SharedMemory) -> None:
     shm.close = lambda: None  # type: ignore[method-assign]
 
 
+@declares_effects("SHM_ATTACH")
 def _attach_untracked(name: str) -> shared_memory.SharedMemory:
     """Map an existing segment without resource-tracker registration.
 
@@ -114,6 +118,7 @@ class SharedArrayBundle:
 
     # -- lifecycle -----------------------------------------------------
     @classmethod
+    @declares_effects("SHM_CREATE", "MUTATES_SHARED")
     def create(cls, arrays: dict[str, np.ndarray]) -> "SharedArrayBundle":
         """Publish ``arrays`` (copied once) into a new shared block."""
         layout: dict[str, _ArraySpec] = {}
@@ -136,6 +141,7 @@ class SharedArrayBundle:
         return bundle
 
     @classmethod
+    @declares_effects("SHM_ATTACH")
     def attach(cls, name: str, layout: dict[str, _ArraySpec], *,
                pin: bool = True) -> "SharedArrayBundle":
         """Map an existing block (worker side).
@@ -166,6 +172,7 @@ class SharedArrayBundle:
             return tracked_view(arr, f"bundle:{key}", self._tracker)
         return arr
 
+    @declares_effects("SHM_CLOSE")
     def close(self) -> None:
         if self._closed:
             return
@@ -178,6 +185,7 @@ class SharedArrayBundle:
             # OS reclaim it quietly.
             _keep_mapped(self._shm)
 
+    @declares_effects("SHM_UNLINK")
     def unlink(self) -> None:
         if self._owner and not self._unlinked:
             self._unlinked = True
@@ -218,6 +226,7 @@ class ScratchBuffer:
             offset=header_bytes).reshape(size, slot_floats)
 
     @classmethod
+    @declares_effects("SHM_CREATE", "MUTATES_SHARED")
     def create(cls, size: int, slot_floats: int) -> "ScratchBuffer":
         slot_floats = max(int(slot_floats), 1)
         nbytes = cls.HEADER_ITEM * size + 8 * size * slot_floats
@@ -227,6 +236,7 @@ class ScratchBuffer:
         return buf
 
     @classmethod
+    @declares_effects("SHM_ATTACH")
     def attach(cls, name: str, size: int, slot_floats: int) -> "ScratchBuffer":
         shm = _attach_untracked(name)
         _keep_mapped(shm)
@@ -242,6 +252,7 @@ class ScratchBuffer:
         self.lengths = tracked_view(self.lengths, "scratch:lengths", tracker)
         self.slots = tracked_view(self.slots, "scratch:slots", tracker)
 
+    @declares_effects("SHM_CLOSE")
     def close(self) -> None:
         if self._closed:
             return
@@ -251,6 +262,7 @@ class ScratchBuffer:
         self.slots = None  # type: ignore[assignment]
         self._shm.close()
 
+    @declares_effects("SHM_UNLINK")
     def unlink(self) -> None:
         if self._owner and not self._unlinked:
             self._unlinked = True

@@ -11,7 +11,7 @@ in exactly the order the per-leaf walks would have produced them.
 
 from __future__ import annotations
 
-import time
+from typing import Callable
 
 import numpy as np
 
@@ -40,8 +40,9 @@ def _near_point_csr(tree: Octree, mc: MultiClassification
 def _plan_from_classification(kind: str, walked: Octree, target: Octree,
                               leaves: np.ndarray, mc: MultiClassification, *,
                               eps: float, mac_variant: str, power: int,
-                              multiplier: float,
-                              t0: float) -> InteractionPlan:
+                              multiplier: float, t0: float,
+                              timer: Callable[[], float] | None
+                              ) -> InteractionPlan:
     near_point_start, near_points = _near_point_csr(walked, mc)
     plan = InteractionPlan(
         kind=kind, eps=eps, mac_variant=mac_variant, power=power,
@@ -53,22 +54,26 @@ def _plan_from_classification(kind: str, walked: Octree, target: Octree,
         near_leaf_start=mc.near_start, near_leaves=mc.near_leaves,
         near_point_start=near_point_start, near_points=near_points,
         nodes_visited=mc.nodes_visited,
-        build_seconds=time.perf_counter() - t0)
+        build_seconds=(timer() - t0) if timer is not None else 0.0)
     return plan
 
 
 def build_born_plan(atoms: AtomTreeData, quad: QuadTreeData, eps: float, *,
                     disable_far: bool = False,
                     mac_variant: str = "practical", power: int = 6,
-                    q_leaves: np.ndarray | None = None) -> InteractionPlan:
+                    q_leaves: np.ndarray | None = None,
+                    timer: Callable[[], float] | None = None
+                    ) -> InteractionPlan:
     """Plan the Born-integral phase: classify quadrature-tree leaves
     (targets) against the atoms tree.
 
     ``q_leaves`` restricts the plan to a subset of targets (default: every
     leaf of the quadrature tree, in leaf order -- the full-pipeline plan
-    the driver caches and the ranks slice).
+    the driver caches and the ranks slice).  ``timer`` is an injectable
+    clock for ``build_seconds``; without one the planner touches no clock
+    and reports 0.0 (keeps the builder callable from pure modules).
     """
-    t0 = time.perf_counter()
+    t0 = timer() if timer is not None else 0.0
     q_tree = quad.tree
     leaves = q_tree.leaves if q_leaves is None \
         else np.asarray(q_leaves, dtype=np.int64)
@@ -78,20 +83,23 @@ def build_born_plan(atoms: AtomTreeData, quad: QuadTreeData, eps: float, *,
                        q_tree.ball_radius[leaves], mult)
     return _plan_from_classification(
         "born", atoms.tree, q_tree, leaves, mc, eps=eps,
-        mac_variant=mac_variant, power=power, multiplier=mult, t0=t0)
+        mac_variant=mac_variant, power=power, multiplier=mult, t0=t0,
+        timer=timer)
 
 
 def build_epol_plan(atoms: AtomTreeData, eps: float, *,
                     disable_far: bool = False,
-                    v_leaves: np.ndarray | None = None) -> InteractionPlan:
+                    v_leaves: np.ndarray | None = None,
+                    timer: Callable[[], float] | None = None
+                    ) -> InteractionPlan:
     """Plan the energy phase: classify atoms-tree leaves against the same
     atoms tree.
 
     Needs only the tree and ``eps`` -- *not* the Born radii -- so both
     plans of a pipeline can be built (and published to workers) before the
-    Born phase runs.
+    Born phase runs.  ``timer`` as in :func:`build_born_plan`.
     """
-    t0 = time.perf_counter()
+    t0 = timer() if timer is not None else 0.0
     tree = atoms.tree
     leaves = tree.leaves if v_leaves is None \
         else np.asarray(v_leaves, dtype=np.int64)
@@ -100,4 +108,4 @@ def build_epol_plan(atoms: AtomTreeData, eps: float, *,
                        tree.ball_radius[leaves], mult)
     return _plan_from_classification(
         "epol", tree, tree, leaves, mc, eps=eps, mac_variant="", power=0,
-        multiplier=mult, t0=t0)
+        multiplier=mult, t0=t0, timer=timer)

@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..analysis_static.verify.annotations import declares_effects
 from ..core.born import AtomTreeData, BornPartial, QuadTreeData
 from ..core.energy import EnergyContext, EpolPartial
 from ..core.gbmodels import f_gb
@@ -101,6 +102,7 @@ class _Scratch:
         return self._buf[:n].reshape(shape)
 
 
+@declares_effects()
 def execute_born_plan(plan: InteractionPlan, atoms: AtomTreeData,
                       quad: QuadTreeData, *,
                       row_range: tuple[int, int] | None = None,
@@ -274,6 +276,7 @@ def execute_born_plan(plan: InteractionPlan, atoms: AtomTreeData,
     return partial
 
 
+@declares_effects()
 def execute_epol_plan(plan: InteractionPlan, ctx: EnergyContext, *,
                       row_range: tuple[int, int] | None = None,
                       per_leaf: list[WorkCounters] | None = None

@@ -303,8 +303,8 @@ class ProcessFleet:
         with self._lock:
             race = self._published.get(pub_key)
             if race is not None:  # another thread published first
-                bundle.unlink()
                 bundle.close()
+                bundle.unlink()
                 return race
             self._published[pub_key] = pub
             self.publications += 1
@@ -322,8 +322,8 @@ class ProcessFleet:
                     self._pool.broadcast(("forget", pub.bundle.name))
                 except PoolError:
                     pass
-            pub.bundle.unlink()
             pub.bundle.close()
+            pub.bundle.unlink()
 
     # -- execution -------------------------------------------------------
     def run_batch(self, items: list[tuple[int, RegistryEntry, EpsConfig]]
@@ -364,8 +364,8 @@ class ProcessFleet:
             pubs = list(self._published.values())
             self._published.clear()
         for pub in pubs:
-            pub.bundle.unlink()
             pub.bundle.close()
+            pub.bundle.unlink()
 
     def __enter__(self) -> "ProcessFleet":
         return self

@@ -20,7 +20,10 @@ from __future__ import annotations
 import threading
 import time
 
+from ..analysis_static.verify.annotations import declares_effects
 
+
+@declares_effects("CLOCK")
 def now() -> float:
     """Monotonic wall-clock seconds (the serving layer's latency clock)."""
     return time.perf_counter()

@@ -1,0 +1,20 @@
+# repro-lint: roles=numeric
+"""REP007 fixture: unseeded randomness outside the RNG home."""
+
+import random
+
+import numpy as np
+from numpy.random import default_rng
+
+
+def jitter(n: int) -> np.ndarray:
+    rng = default_rng()  # BAD: zero-argument constructor, no seed
+    noise = np.random.normal(size=n)  # BAD: hidden global RNG state
+    bias = random.random()  # BAD: hidden global RNG state
+    return rng.normal(size=n) + noise + bias
+
+
+def fine(n: int, seed: int) -> np.ndarray:
+    # GOOD: explicit seed threaded through a Generator.
+    rng = np.random.default_rng(seed)
+    return rng.normal(size=n)

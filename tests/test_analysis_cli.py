@@ -1,0 +1,101 @@
+"""``python -m repro.lint`` front-end coverage: text/JSON parity, exit
+codes, per-line suppression, and the ``--baseline`` ratchet."""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+FIXTURES = REPO / "tests" / "lint_fixtures"
+SRC = REPO / "src"
+
+
+def run_cli(*args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, "-m", "repro.lint", *args],
+        capture_output=True, text=True, cwd=REPO,
+        env={"PYTHONPATH": str(SRC), "PATH": "/usr/bin:/bin"})
+
+
+class TestTextJsonParity:
+    def test_same_findings_both_formats(self):
+        fixture = str(FIXTURES / "bad_rep007.py")
+        text = run_cli(fixture)
+        as_json = run_cli(fixture, "--format", "json")
+        assert text.returncode == as_json.returncode == 1
+        payload = json.loads(as_json.stdout)
+        assert payload["count"] == len(payload["findings"]) > 0
+        # Every JSON finding's file:line:col address appears in the text.
+        for f in payload["findings"]:
+            assert f"{f['path']}:{f['line']}:{f['col']}" in text.stdout
+            assert f["rule"] in text.stdout
+
+    def test_clean_run_both_formats(self, tmp_path):
+        target = tmp_path / "clean.py"
+        target.write_text("x = 1\n")
+        assert run_cli(str(target)).returncode == 0
+        proc = run_cli(str(target), "--format", "json")
+        assert proc.returncode == 0
+        assert json.loads(proc.stdout)["count"] == 0
+
+
+class TestExitCodes:
+    def test_findings_exit_one(self):
+        assert run_cli(str(FIXTURES / "bad_rep001.py")).returncode == 1
+
+    def test_clean_exits_zero(self):
+        assert run_cli("src/repro/constants.py").returncode == 0
+
+    def test_usage_errors_exit_two(self):
+        assert run_cli("--rules", "REP999").returncode == 2
+        assert run_cli("--write-baseline").returncode == 2
+        missing = run_cli("src", "--baseline", "does/not/exist.json")
+        assert missing.returncode == 2
+
+
+class TestSuppression:
+    def test_disable_comment_silences_via_cli(self, tmp_path):
+        target = tmp_path / "m.py"
+        target.write_text(
+            "# repro-lint: roles=numeric\n"
+            "t = sum({1.0, 2.0})  # repro-lint: disable=REP001 -- test\n")
+        assert run_cli(str(target)).returncode == 0
+        target.write_text(
+            "# repro-lint: roles=numeric\n"
+            "t = sum({1.0, 2.0})\n")
+        assert run_cli(str(target)).returncode == 1
+
+
+class TestBaseline:
+    def test_write_then_ratchet(self, tmp_path):
+        base = tmp_path / "lint-baseline.json"
+        fixture = str(FIXTURES / "bad_rep003.py")
+        wrote = run_cli(fixture, "--baseline", str(base), "--write-baseline")
+        assert wrote.returncode == 0
+        assert base.exists()
+        # Old findings are accepted ...
+        again = run_cli(fixture, "--baseline", str(base))
+        assert again.returncode == 0
+        assert "baselined finding(s) hidden" in again.stdout
+        # ... but a new finding still fails the run.
+        extra = tmp_path / "extra.py"
+        extra.write_text("# repro-lint: roles=numeric\n"
+                         "t = sum({1.0, 2.0})\n")
+        mixed = run_cli(fixture, str(extra), "--baseline", str(base))
+        assert mixed.returncode == 1
+        assert "REP001" in mixed.stdout
+
+    def test_fingerprint_survives_line_shift(self, tmp_path):
+        base = tmp_path / "b.json"
+        target = tmp_path / "m.py"
+        body = ("# repro-lint: roles=numeric\n"
+                "t = sum({1.0, 2.0})\n")
+        target.write_text(body)
+        assert run_cli(str(target), "--baseline", str(base),
+                       "--write-baseline").returncode == 0
+        # Insert lines above the finding: the baseline must still match.
+        target.write_text("# repro-lint: roles=numeric\n"
+                          "pad_a = 1\npad_b = 2\n"
+                          "t = sum({1.0, 2.0})\n")
+        assert run_cli(str(target), "--baseline", str(base)).returncode == 0

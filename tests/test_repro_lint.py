@@ -29,6 +29,7 @@ EXPECTED = {
     "REP004": FIXTURES / "bad_rep004.py",
     "REP005": FIXTURES / "bad_rep005.py",
     "REP006": FIXTURES / "bad_rep006.py",
+    "REP007": FIXTURES / "bad_rep007.py",
 }
 
 
@@ -40,9 +41,9 @@ def run_cli(*args: str) -> subprocess.CompletedProcess:
 
 
 class TestRuleCatalogue:
-    def test_six_rules_shipped(self):
+    def test_seven_rules_shipped(self):
         assert sorted(RULES) == ["REP001", "REP002", "REP003", "REP004",
-                                 "REP005", "REP006"]
+                                 "REP005", "REP006", "REP007"]
 
     def test_every_rule_has_a_hint(self):
         for rule in RULES.values():
@@ -172,6 +173,40 @@ class TestScoping:
         assert lint_source(src, "src/repro/parallel/procpool/shm.py") == []
         assert [f.rule for f in
                 lint_source(src, "src/repro/octree/build.py")] == ["REP004"]
+
+
+class TestRep007:
+    def test_seeded_generator_allowed(self):
+        src = ("import numpy as np\n"
+               "rng = np.random.default_rng(7)\n"
+               "x = rng.normal(size=3)\n")
+        assert lint_source(src, "src/repro/core/params.py") == []
+
+    def test_unseeded_draws_flagged(self):
+        src = ("import random\n"
+               "import numpy as np\n"
+               "a = np.random.default_rng()\n"
+               "b = np.random.normal(size=3)\n"
+               "c = random.random()\n")
+        assert [f.rule for f in
+                lint_source(src, "src/repro/core/params.py")] \
+            == ["REP007", "REP007", "REP007"]
+
+    def test_rng_home_and_tests_exempt(self):
+        src = "import numpy as np\nx = np.random.normal(size=3)\n"
+        assert lint_source(src, "src/repro/molecule/generators.py") == []
+        assert lint_source(src, "tests/test_something.py") == []
+        assert "rng" in infer_roles("src/repro/molecule/generators.py")
+        assert "rng" in infer_roles("benchmarks/test_plan_kernels.py")
+
+    def test_from_import_aliases_tracked(self):
+        src = ("from numpy.random import default_rng as mk\n"
+               "from random import random as draw\n"
+               "a = mk()\n"
+               "b = mk(123)\n"
+               "c = draw()\n")
+        rules = [f.rule for f in lint_source(src, "src/repro/core/x.py")]
+        assert rules == ["REP007", "REP007"]  # mk(123) is seeded
 
 
 class TestCLI:

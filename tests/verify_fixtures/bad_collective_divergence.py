@@ -1,0 +1,18 @@
+"""RV301 fixture: rank-dependent branches with mismatched collectives."""
+
+
+def diverges(backend, rank: int, arr):
+    # BAD: only rank 0 enters the allreduce -- every other rank deadlocks.
+    if rank == 0:
+        total = backend.allreduce(arr)
+    else:
+        total = arr
+    return total
+
+
+def early_return_skips(backend, rank: int, arr):
+    # BAD: rank 0 returns before the barrier+allreduce the others issue.
+    if rank == 0:
+        return arr
+    backend.barrier()
+    return backend.allreduce(arr)

@@ -1,0 +1,11 @@
+"""RV102 fixture: body effects exceed the @declares_effects declaration."""
+
+import time
+
+from repro.analysis_static.verify.annotations import declares_effects
+
+
+@declares_effects("IO")
+def logs_and_times(msg: str) -> float:
+    print(msg)
+    return time.perf_counter()  # CLOCK is not declared -> RV102

@@ -1,0 +1,8 @@
+# repro-verify: policy=pure
+"""RV101 fixture: a module declared pure that reaches the wall clock."""
+
+import time
+
+
+def stamped(x: float) -> float:
+    return x + time.perf_counter()  # RV101: CLOCK in a pure module

@@ -1,0 +1,8 @@
+"""RV302 fixture: a collective inside a rank-dependent loop."""
+
+
+def desync(backend, rank: int, arr):
+    # BAD: rank r performs r allreduces -- the schedules desynchronise.
+    for _ in range(rank):
+        arr = backend.allreduce(arr)
+    return arr

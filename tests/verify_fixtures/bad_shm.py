@@ -1,0 +1,39 @@
+"""Typestate fixtures: one function per shm-protocol violation."""
+
+from multiprocessing import shared_memory
+
+
+def leaks(name: str) -> int:
+    seg = shared_memory.SharedMemory(name=name)  # RV201: never closed
+    value = seg.buf[0]
+    return int(value)
+
+
+def use_after_close(name: str) -> int:
+    seg = shared_memory.SharedMemory(name=name)
+    first = seg.buf[0]
+    seg.close()
+    return int(first) + seg.buf[1]  # RV202: read through a closed mapping
+
+
+def attacher_unlinks(name: str) -> None:
+    seg = shared_memory.SharedMemory(name=name)
+    seg.unlink()  # RV203 (and RV205: unlink ordered before close)
+    seg.close()
+
+
+def double_unlink(nbytes: int) -> None:
+    seg = shared_memory.SharedMemory(create=True, size=nbytes)
+    seg.close()
+    seg.unlink()
+    seg.unlink()  # RV204: second unlink site
+
+
+class CacheHolder:
+    """RV206: stores a segment but no method ever closes or hands it off."""
+
+    def __init__(self, seg: shared_memory.SharedMemory) -> None:
+        self._seg = seg
+
+    def read(self) -> int:
+        return self._seg.buf[0]

@@ -1,0 +1,31 @@
+"""Clean collective usage: rank-dependent control flow is fine as long
+as every rank issues the same collective sequence."""
+
+
+def symmetric(backend, rank: int, arr):
+    # GOOD: the collective is hoisted out of the rank-dependent branch.
+    total = backend.allreduce(arr)
+    if rank == 0:
+        label = "root"
+    else:
+        label = "peer"
+    backend.barrier()
+    return total, label
+
+
+def both_arms_match(backend, rank: int, arr):
+    # GOOD: both arms emit the same collective multiset.
+    if rank == 0:
+        out = backend.allreduce(arr)
+    else:
+        out = backend.allreduce(arr)
+    return out
+
+
+def root_only_result(backend, rank: int, value: float):
+    # GOOD: reduce() is issued by every rank; only the *result* is
+    # rank-dependent.
+    total = backend.reduce(value, root=0)
+    if rank == 0:
+        return total
+    return None

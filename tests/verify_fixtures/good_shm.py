@@ -1,0 +1,19 @@
+"""Clean shm lifecycle: create -> use -> close -> unlink, attach -> close."""
+
+from multiprocessing import shared_memory
+
+
+def owner_round_trip(nbytes: int) -> int:
+    seg = shared_memory.SharedMemory(create=True, size=nbytes)
+    seg.buf[0] = 7
+    first = seg.buf[0]
+    seg.close()
+    seg.unlink()
+    return int(first)
+
+
+def attacher_round_trip(name: str) -> int:
+    seg = shared_memory.SharedMemory(name=name)
+    value = seg.buf[0]
+    seg.close()
+    return int(value)

@@ -1,0 +1,14 @@
+# repro-verify: policy=pure
+"""Suppression fixture: one reasoned allow, one malformed allow."""
+
+import time
+
+
+def quiet(x: float) -> float:
+    # repro-verify: allow=RV101(fixture demonstrates a reasoned waiver)
+    return x + time.perf_counter()
+
+
+def noisy(x: float) -> float:
+    # repro-verify: allow=RV101
+    return x + time.monotonic()
