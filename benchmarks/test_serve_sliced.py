@@ -1,0 +1,166 @@
+"""Intra-request slicing: the latency claim for one giant molecule.
+
+Two measured claims, written to ``benchmarks/results/
+BENCH_serve_sliced.json``:
+
+* **latency win** -- one large request row-sliced over a P-worker warm
+  fleet completes ``>= 2x`` faster than the same request on a 1-worker
+  fleet (best-of-``REPRO_BENCH_REPEATS`` warm latencies), while staying
+  bit-identical to the cold serial ``driver.run()``;
+* **no small-request regression** -- replaying the mixed workload with
+  slicing enabled keeps small-request throughput within 10% of the
+  batched-only baseline (the PR-4 behaviour, ``slice_threshold=None``).
+
+Following ``test_procpool_speedup``: hard performance assertions only
+fire when the machine actually has the cores (slicing on a 1-core runner
+measures scheduling, not scaling); correctness assertions always fire.
+
+Environment knobs: ``REPRO_BENCH_SLICE_NATOMS`` (large molecule size,
+default 2500), ``REPRO_BENCH_SLICE_WORKERS`` (fleet width P, default 4),
+``REPRO_BENCH_REPEATS`` (per-config repetitions, default 3),
+``REPRO_BENCH_SLICE_SMALL_NATOMS``/``REPRO_BENCH_SLICE_REQUESTS`` for
+the mixed replay (defaults 150/36).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from repro.core.driver import PolarizationEnergyCalculator
+from repro.molecule.generators import protein_blob
+from repro.serve import (EpolServer, EpsConfig, MoleculeRegistry,
+                         ProcessFleet, ServeClient, ServeConfig)
+
+MIN_SLICE_SPEEDUP = 2.0
+SMALL_RPS_TOLERANCE = 0.10
+
+
+def _available_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def test_sliced_latency_and_mixed_throughput(results_dir):
+    large_natoms = int(os.environ.get("REPRO_BENCH_SLICE_NATOMS", "2500"))
+    workers = int(os.environ.get("REPRO_BENCH_SLICE_WORKERS", "4"))
+    repeats = int(os.environ.get("REPRO_BENCH_REPEATS", "3"))
+    small_natoms = int(os.environ.get("REPRO_BENCH_SLICE_SMALL_NATOMS",
+                                      "150"))
+    requests = int(os.environ.get("REPRO_BENCH_SLICE_REQUESTS", "36"))
+    cores = _available_cores()
+
+    registry = MoleculeRegistry()
+    large = protein_blob(large_natoms, seed=400,
+                         name=f"blob-{large_natoms}-large")
+    smalls = [protein_blob(small_natoms, seed=410 + i,
+                           name=f"blob-{small_natoms}-{i}")
+              for i in range(3)]
+    large_key = registry.register(large)
+    small_keys = [registry.register(m) for m in smalls]
+    entry = registry.get(large_key)
+    cfg = EpsConfig.resolve(entry.params)
+    reference = PolarizationEnergyCalculator(
+        large, entry.params).run().energy
+
+    # -- latency: one sliced request, P workers vs 1 worker -------------
+    latencies: dict[int, float] = {}
+    for P in (1, workers):
+        fleet = ProcessFleet(P)
+        try:
+            warm = fleet.run_sliced(0, entry, cfg)  # publication + attach
+            assert warm.error is None
+            assert warm.energy == reference, (
+                f"sliced energy diverged from cold driver.run() at P={P}")
+            best = None
+            for rep in range(repeats):
+                t0 = time.perf_counter()
+                res = fleet.run_sliced(1 + rep, entry, cfg)
+                wall = time.perf_counter() - t0
+                assert res.error is None and res.energy == reference
+                assert res.mode == "sliced"
+                best = wall if best is None else min(best, wall)
+            latencies[P] = best
+        finally:
+            fleet.shutdown()
+    speedup = latencies[1] / latencies[workers]
+
+    # -- mixed replay: small throughput, sliced vs batched-only ---------
+    weights = {k: registry.get(k).row_weight(cfg.eps_born, cfg.eps_epol)
+               for k in [large_key, *small_keys]}
+    threshold = (max(weights[k] for k in small_keys)
+                 + weights[large_key]) / 2.0
+    stream = [large_key if i % 6 == 5 else small_keys[i % 3]
+              for i in range(requests)]
+    small_rps: dict[str, float] = {}
+    per_mode: dict[str, dict] = {}
+    for label, thresh in (("batched_only", None), ("sliced", threshold)):
+        server = EpolServer(
+            fleet=ProcessFleet(workers), registry=registry,
+            config=ServeConfig(max_batch=16, max_wait_seconds=0.002,
+                               queue_capacity=max(64, requests),
+                               slice_threshold=thresh))
+        with server:
+            client = ServeClient(server)
+            t0 = time.perf_counter()
+            futs = [client.submit(key=k, retries=100_000) for k in stream]
+            energies = client.await_all(futs, timeout=600.0)
+            replay = time.perf_counter() - t0
+        for k, e in zip(stream, energies):
+            if k == large_key:
+                assert e == reference, f"{label}: large energy diverged"
+        nsmall = sum(1 for k in stream if k != large_key)
+        small_rps[label] = nsmall / replay
+        per_mode[label] = server.stats()["modes"]
+    rps_ratio = small_rps["sliced"] / small_rps["batched_only"]
+
+    record = {
+        "large_natoms": large_natoms,
+        "small_natoms": small_natoms,
+        "workers": workers,
+        "cores_available": cores,
+        "repeats": repeats,
+        "reference_energy": reference,
+        "sliced_latency_seconds": {str(p): w
+                                   for p, w in latencies.items()},
+        "sliced_speedup": speedup,
+        "min_speedup_required": MIN_SLICE_SPEEDUP,
+        "mixed_requests": requests,
+        "slice_threshold": threshold,
+        "row_weights": weights,
+        "mixed_small_rps": small_rps,
+        "mixed_small_rps_ratio": rps_ratio,
+        "mixed_modes": per_mode,
+        "written_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+    }
+    out = results_dir / "BENCH_serve_sliced.json"
+    out.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    print()
+    print(f"sliced latency ({large_natoms} atoms): 1 worker "
+          f"{latencies[1]:.3f}s -> {workers} workers "
+          f"{latencies[workers]:.3f}s ({speedup:.2f}x)")
+    print(f"mixed small-request throughput: batched-only "
+          f"{small_rps['batched_only']:.1f} req/s, sliced "
+          f"{small_rps['sliced']:.1f} req/s (ratio {rps_ratio:.2f})")
+    print(f"wrote {out}")
+
+    # Routing sanity always fires: the mixed replay must actually have
+    # sliced its large requests.
+    assert per_mode["sliced"].get("sliced", {}).get("completed", 0) > 0
+    assert "sliced" not in per_mode["batched_only"]
+
+    if cores >= workers:
+        assert speedup >= MIN_SLICE_SPEEDUP, (
+            f"row-slicing one {large_natoms}-atom request over {workers} "
+            f"workers won {speedup:.2f}x < {MIN_SLICE_SPEEDUP}x over a "
+            "1-worker fleet")
+        assert rps_ratio >= 1.0 - SMALL_RPS_TOLERANCE, (
+            f"slicing regressed small-request throughput to "
+            f"{rps_ratio:.2f}x of the batched-only baseline "
+            f"(tolerance {SMALL_RPS_TOLERANCE:.0%})")
+    else:
+        print(f"NOTE: {cores} core(s) < {workers} workers -- performance "
+              "assertions skipped, correctness asserted")

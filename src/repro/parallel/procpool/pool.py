@@ -90,6 +90,9 @@ class PersistentWorkerPool:
         ctx = mp.get_context(method)
         self.nworkers = nworkers
         self.start_method = method or "default"
+        self._ctx = ctx
+        self._worker_loop = worker_loop
+        self.respawns = 0
         self.tasks = ctx.Queue()
         self.results = ctx.Queue()
         self._procs = [ctx.Process(target=worker_loop,
@@ -144,6 +147,38 @@ class PersistentWorkerPool:
     def alive(self) -> int:
         """Number of workers currently running."""
         return sum(1 for p in self._procs if p.is_alive())
+
+    def respawn(self) -> int:
+        """Replace every exited worker with a fresh process at the same
+        rank; returns how many were replaced.
+
+        This is the fleet's degraded-mode recovery: a worker killed
+        mid-task (OOM, segfault, crash injection) loses *that* task, but
+        the pool keeps its queues -- later tasks land on the replacement.
+        The replacement starts with a cold cache (worker state died with
+        the process); correctness is unaffected because all shared state
+        lives in parent-owned segments.
+        """
+        if self._closed:
+            raise PoolError("pool is shut down")
+        replaced = 0
+        for rank, proc in enumerate(self._procs):
+            if proc.exitcode is None:
+                continue
+            proc.join(timeout=5)
+            fresh = self._ctx.Process(
+                target=self._worker_loop,
+                args=(rank, self.tasks, self.results), daemon=True)
+            fresh.start()
+            self._procs[rank] = fresh
+            replaced += 1
+        if replaced:
+            self.respawns += replaced
+            # Re-arm the abandoned-pool finalizer over the live set.
+            self._finalizer.detach()
+            self._finalizer = weakref.finalize(self, _terminate_procs,
+                                               list(self._procs))
+        return replaced
 
     # -- lifecycle -----------------------------------------------------
     @property

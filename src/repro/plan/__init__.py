@@ -13,7 +13,7 @@ work counts for load balancing (:mod:`.stats`).
 
 from .builder import build_born_plan, build_epol_plan
 from .cache import PlanCache
-from .executor import execute_born_plan, execute_epol_plan
+from .executor import epol_row_terms, execute_born_plan, execute_epol_plan
 from .schema import PLAN_ARRAY_FIELDS, InteractionPlan, PlanSet
 from .stats import plan_stats, rank_imbalance, tile_histogram
 
@@ -24,6 +24,7 @@ __all__ = [
     "PlanSet",
     "build_born_plan",
     "build_epol_plan",
+    "epol_row_terms",
     "execute_born_plan",
     "execute_epol_plan",
     "plan_stats",

@@ -106,19 +106,41 @@ class _Scratch:
 def execute_born_plan(plan: InteractionPlan, atoms: AtomTreeData,
                       quad: QuadTreeData, *,
                       row_range: tuple[int, int] | None = None,
-                      per_leaf: list[WorkCounters] | None = None
+                      per_leaf: list[WorkCounters] | None = None,
+                      flat_out: dict[str, np.ndarray] | None = None
                       ) -> BornPartial:
     """APPROX-INTEGRALS over plan rows ``[lo, hi)``, batched.
 
     Bit-identical to running the legacy per-leaf loop over the same target
     leaves; partials from disjoint row ranges combine by addition exactly
     as the per-leaf partials did.
+
+    ``flat_out`` hands ownership of the accumulation to the caller: a
+    mapping with ``"far"`` and ``"near"`` float64 arrays sized to the row
+    range's flat CSR spans (``far_start[hi] - far_start[lo]`` and
+    ``near_point_start[hi] - near_point_start[lo]``).  The kernel then
+    writes each contribution value into those arrays -- every slot
+    exactly once, by position -- and *skips* the two ``np.add.at``
+    scatters, returning a zero partial (counters still set).  Because
+    flat values are position-written, a caller that concatenates the
+    slices of disjoint row ranges and replays the full-range scatters
+    reproduces the serial result bit for bit (the scatter order, not the
+    row partitioning, carries the accumulation order).
     """
     lo, hi = _check_plan(plan, "born", row_range)
     partial = BornPartial.zeros(atoms)
     partial.counters = plan.counters(lo, hi)
     if per_leaf is not None:
         per_leaf.extend(plan.row_counters(lo, hi))
+    if flat_out is not None:
+        for fname, total in (
+                ("far", int(plan.far_start[hi]) - int(plan.far_start[lo])),
+                ("near", (int(plan.near_point_start[hi])
+                          - int(plan.near_point_start[lo])))):
+            if flat_out[fname].shape != (total,):
+                raise ValueError(
+                    f"flat_out[{fname!r}] must have shape ({total},) for "
+                    f"rows [{lo}, {hi}), got {flat_out[fname].shape}")
     if hi == lo:
         return partial
     rows = np.arange(lo, hi, dtype=np.int64)
@@ -131,7 +153,8 @@ def execute_born_plan(plan: InteractionPlan, atoms: AtomTreeData,
     far_base = int(plan.far_start[lo])
     far_total = int(plan.far_start[hi]) - far_base
     if far_total:
-        contrib_flat = np.empty(far_total)
+        contrib_flat = (flat_out["far"] if flat_out is not None
+                        else np.empty(far_total))
         centers = q_tree.ball_center[plan.target_leaves]
         ntilde = quad.node_pseudo_normals[plan.target_leaves]
         for count in np.unique(far_counts):
@@ -151,9 +174,10 @@ def execute_born_plan(plan: InteractionPlan, atoms: AtomTreeData,
                     (dots / denom).ravel()
         # Row-major element order == the legacy per-leaf fancy-index "+="
         # sequence, so every s_node slot sees the same addition order.
-        np.add.at(partial.s_node,
-                  plan.far_nodes[far_base:far_base + far_total],
-                  contrib_flat)
+        if flat_out is None:
+            np.add.at(partial.s_node,
+                      plan.far_nodes[far_base:far_base + far_total],
+                      contrib_flat)
 
     # -- near field: exact r^power tiles, GEMM-batched by tile shape ----
     q_sizes = plan.target_sizes[rows]
@@ -161,7 +185,8 @@ def execute_born_plan(plan: InteractionPlan, atoms: AtomTreeData,
     near_base = int(plan.near_point_start[lo])
     near_total = int(plan.near_point_start[hi]) - near_base
     if near_total:
-        near_flat = np.empty(near_total)
+        near_flat = (flat_out["near"] if flat_out is not None
+                     else np.empty(near_total))
         qs_all = plan.target_point_start
         # One CSR-ordered (and plan-memoised) gather of every near atom
         # position; each segment below is then a *contiguous view* into
@@ -270,31 +295,38 @@ def execute_born_plan(plan: InteractionPlan, atoms: AtomTreeData,
                                   neginf=0.0)
                 np.sum(term, axis=1,
                        out=near_flat[s0 - near_base:s0 - near_base + ln])
-        np.add.at(partial.s_atom,
-                  plan.near_points[near_base:near_base + near_total],
-                  near_flat)
+        if flat_out is None:
+            np.add.at(partial.s_atom,
+                      plan.near_points[near_base:near_base + near_total],
+                      near_flat)
     return partial
 
 
 @declares_effects()
-def execute_epol_plan(plan: InteractionPlan, ctx: EnergyContext, *,
-                      row_range: tuple[int, int] | None = None,
-                      per_leaf: list[WorkCounters] | None = None
-                      ) -> EpolPartial:
-    """APPROX-EPOL over plan rows ``[lo, hi)``, batched.
+def epol_row_terms(plan: InteractionPlan, ctx: EnergyContext, *,
+                   row_range: tuple[int, int] | None = None
+                   ) -> tuple[np.ndarray, np.ndarray]:
+    """Per-row APPROX-EPOL far/near pair-sum terms for rows ``[lo, hi)``.
 
-    Bit-identical to the legacy per-leaf loop over the same leaves:
-    the far einsum and near tiles are batched by shape, and the final
-    pair sum interleaves each row's far/near terms in ascending row
-    order -- the legacy accumulation order.
+    Each returned element is that row's full reduction -- the far binned
+    einsum and the near contiguous-pair ``np.sum`` -- so a row's value is
+    bitwise independent of which range it was computed in (batching by
+    shape only regroups *whole* rows; no per-row summation tree changes).
+    A caller that concatenates disjoint ranges in ascending row order and
+    replays the serial interleaved left fold (far before near within a
+    row) therefore reproduces :func:`execute_epol_plan` over the union
+    bit for bit.  This is the intra-request slice kernel of
+    :mod:`repro.serve.sliced`.
     """
     lo, hi = _check_plan(plan, "epol", row_range)
-    nbins = ctx.binning.nbins
-    counters = plan.counters(lo, hi, nbins=nbins)
-    if per_leaf is not None:
-        per_leaf.extend(plan.row_counters(lo, hi, nbins=nbins))
     if hi == lo:
-        return EpolPartial(pair_sum=0.0, counters=counters)
+        return np.zeros(0), np.zeros(0)
+    return _epol_terms(plan, ctx, lo, hi)
+
+
+def _epol_terms(plan: InteractionPlan, ctx: EnergyContext,
+                lo: int, hi: int) -> tuple[np.ndarray, np.ndarray]:
+    """Far/near term arrays for rows ``[lo, hi)`` (``hi > lo``)."""
     rows = np.arange(lo, hi, dtype=np.int64)
     tree = ctx.atoms.tree
     pos = tree.sorted_points
@@ -444,6 +476,31 @@ def execute_epol_plan(plan: InteractionPlan, ctx: EnergyContext, *,
         for j in range(nz.size):
             p0 = int(p0_all[j])
             near_terms[nz[j] - lo] = np.sum(term[p0:p0 + int(pc_all[j])])
+
+    return far_terms, near_terms
+
+
+@declares_effects()
+def execute_epol_plan(plan: InteractionPlan, ctx: EnergyContext, *,
+                      row_range: tuple[int, int] | None = None,
+                      per_leaf: list[WorkCounters] | None = None
+                      ) -> EpolPartial:
+    """APPROX-EPOL over plan rows ``[lo, hi)``, batched.
+
+    Bit-identical to the legacy per-leaf loop over the same leaves:
+    the far einsum and near tiles are batched by shape
+    (:func:`epol_row_terms`), and the final pair sum interleaves each
+    row's far/near terms in ascending row order -- the legacy
+    accumulation order.
+    """
+    lo, hi = _check_plan(plan, "epol", row_range)
+    nbins = ctx.binning.nbins
+    counters = plan.counters(lo, hi, nbins=nbins)
+    if per_leaf is not None:
+        per_leaf.extend(plan.row_counters(lo, hi, nbins=nbins))
+    if hi == lo:
+        return EpolPartial(pair_sum=0.0, counters=counters)
+    far_terms, near_terms = _epol_terms(plan, ctx, lo, hi)
 
     # Ascending row order, far before near within a row -- the exact
     # left-fold the legacy loop performed (order is the contract).

@@ -11,6 +11,9 @@ turns the repo's pieces into that request/response service:
   once and execute many;
 * :mod:`.fleet` -- warm in-process or OS-process workers with molecule
   and plan arrays published once via shared memory;
+* :mod:`.policy`/:mod:`.sliced` -- the pure batch-vs-slice routing
+  decision and the bit-exact intra-request slice reduction (one giant
+  molecule fanned over every warm worker);
 * :mod:`.client` -- futures-style submit/poll/await;
 * :mod:`.metrics` -- latency/throughput/batching accounting (the layer's
   only wall-clock reader, repro-lint rule REP003);
@@ -27,11 +30,13 @@ from __future__ import annotations
 
 from .client import ServeClient, ServeFuture
 from .fleet import (EpsConfig, EvalResult, FleetError, InlineFleet,
-                    ProcessFleet, evaluate_pipeline)
-from .metrics import ServeMetrics, now
+                    ProcessFleet, SliceError, evaluate_pipeline)
+from .metrics import ServeMetrics, latency_summary, now
+from .policy import MODE_BATCHED, MODE_SLICED, decide_mode
 from .registry import MoleculeRegistry, RegistryEntry, content_key
 from .scheduler import (EpolServer, RejectedError, ServeConfig,
                         ServerClosed)
+from .sliced import fold_pair_terms, reduce_born_flat, slice_bounds
 
 __all__ = [
     "EpolServer",
@@ -39,6 +44,8 @@ __all__ = [
     "EvalResult",
     "FleetError",
     "InlineFleet",
+    "MODE_BATCHED",
+    "MODE_SLICED",
     "MoleculeRegistry",
     "ProcessFleet",
     "RegistryEntry",
@@ -48,10 +55,16 @@ __all__ = [
     "ServeFuture",
     "ServeMetrics",
     "ServerClosed",
+    "SliceError",
     "content_key",
+    "decide_mode",
     "evaluate_pipeline",
+    "fold_pair_terms",
+    "latency_summary",
     "make_server",
     "now",
+    "reduce_born_flat",
+    "slice_bounds",
 ]
 
 

@@ -15,24 +15,33 @@ registry entry, epsilon config)`` items, plus ``forget``/``shutdown``):
   octrees, cache the prepared state, and then serve every later request
   for that molecule at plan-execution cost.
 
-Determinism contract: a served request evaluates the *whole* plan (every
-row) through :func:`evaluate_pipeline` -- the exact kernel sequence of
-:meth:`repro.core.driver.PolarizationEnergyCalculator.profile` -- so the
-returned energy is bit-identical to a cold ``driver.run()`` of the same
-configuration, per request, regardless of fleet width, batch shape or
-arrival order.  Fleet parallelism is *across* requests (the decoy-scoring
-shape of the workload), never inside one energy sum.
+Determinism contract: a served request's energy is bit-identical to a
+cold ``driver.run()`` of the same configuration, per request, regardless
+of fleet width, batch shape, routing mode or arrival order.  Batched
+requests evaluate the *whole* plan through :func:`evaluate_pipeline` --
+the exact kernel sequence of
+:meth:`repro.core.driver.PolarizationEnergyCalculator.profile`.  Sliced
+requests (``run_sliced``) fan contiguous weight-balanced plan row ranges
+over every worker and reduce through :mod:`repro.serve.sliced`, which
+replays the serial scatter and fold operations verbatim -- worker width
+picks who computes which rows, never the order anything is added (see
+``docs/SERVING.md``, "Intra-request parallelism").
 """
 
 from __future__ import annotations
 
 import dataclasses
+import os
 import threading
 import traceback
 from dataclasses import dataclass
 from typing import Any
 
+import numpy as np
+
 from ..analysis_static.checks import checks_enabled
+from ..analysis_static.races import (WriteIntentTracker, find_races,
+                                     intents_from_payload)
 from ..core.born import AtomTreeData, QuadTreeData, push_integrals_to_atoms
 from ..core.energy import EnergyContext, epol_from_pair_sum
 from ..core.params import ApproximationParams
@@ -40,18 +49,36 @@ from ..molecule.molecule import Molecule
 from ..parallel.procpool import (PersistentWorkerPool, PoolError,
                                  SharedArrayBundle)
 from ..plan import InteractionPlan, PlanSet
-from ..plan.executor import execute_born_plan, execute_epol_plan
+from ..plan.executor import (epol_row_terms, execute_born_plan,
+                             execute_epol_plan)
 from ..plan.schema import PLAN_ARRAY_FIELDS
 from ..surface.sas import SurfaceQuadrature
 from .metrics import now
 from .registry import RegistryEntry
+from .sliced import (born_flat_sizes, epol_nbins, fold_pair_terms,
+                     reduce_born_flat, slice_bounds)
 
 #: Molecules one warm worker keeps attached before evicting its oldest.
 WORKER_CACHE_ENTRIES = 8
 
+#: Test-only control task: the receiving worker hard-exits (as a real
+#: worker would on OOM-kill or segfault) on its *next* evaluation task,
+#: losing that task mid-flight.  Fault-injection hook for the degraded
+#: fleet suite; nothing in the serving path ever sends it.
+CRASH_NEXT = "__crash_next__"
+
 
 class FleetError(RuntimeError):
     """The fleet cannot serve (worker death, shut-down pool)."""
+
+
+class SliceError(FleetError):
+    """One sliced request failed; the fleet itself has recovered.
+
+    Raised by ``run_sliced`` when a slice errors or its worker dies
+    mid-flight.  The scheduler treats it as request-scoped (reject that
+    future, keep serving); a plain :class:`FleetError` stays fatal.
+    """
 
 
 @dataclass(frozen=True)
@@ -79,6 +106,11 @@ class EvalResult:
     eval_seconds: float
     cold_attach: bool = False
     error: str | None = None
+    #: How the request was executed: ``"batched"`` (one worker ran the
+    #: whole plan) or ``"sliced"`` (row ranges fanned over the fleet).
+    mode: str = "batched"
+    #: Row slices the request fanned out to (1 for batched requests).
+    nslices: int = 1
 
 
 def evaluate_pipeline(molecule: Molecule, atoms: AtomTreeData,
@@ -105,12 +137,22 @@ def evaluate_pipeline(molecule: Molecule, atoms: AtomTreeData,
 # in-process fleet ("sim" backend)
 # ----------------------------------------------------------------------
 class InlineFleet:
-    """Evaluates batches inline in the calling (scheduler) thread."""
+    """Evaluates batches inline in the calling (scheduler) thread.
+
+    ``nworkers`` is the *simulated* slice width: ``run_sliced`` cuts a
+    request into that many weight-balanced row ranges and executes them
+    sequentially through the identical slice kernels and reduction the
+    process fleet uses -- the reference substrate for the differential
+    suite (energies must not depend on the width, so simulating it
+    single-threaded is a legitimate execution of the same computation).
+    """
 
     backend = "sim"
-    nworkers = 1
 
-    def __init__(self) -> None:
+    def __init__(self, nworkers: int = 1) -> None:
+        if nworkers < 1:
+            raise ValueError("nworkers must be >= 1")
+        self.nworkers = int(nworkers)
         self._closed = False
 
     def run_batch(self, items: list[tuple[int, RegistryEntry, EpsConfig]]
@@ -133,6 +175,66 @@ class InlineFleet:
                     energy=float("nan"), worker=0, eval_seconds=now() - t0,
                     error=traceback.format_exc())
         return out
+
+    def run_sliced(self, req_id: int, entry: RegistryEntry,
+                   cfg: EpsConfig) -> EvalResult:
+        """One request, row-sliced into ``nworkers`` ranges (sequential).
+
+        Same slice kernels, same parent-side reduction as
+        :meth:`ProcessFleet.run_sliced` -- bit-identical to
+        :func:`evaluate_pipeline` and a cold ``driver.run()`` for any
+        width.  Raises :class:`SliceError` on evaluation failure.
+        """
+        if self._closed:
+            raise FleetError("fleet is shut down")
+        t0 = now()
+        try:
+            plans = entry.plans_for(cfg.eps_born, cfg.eps_epol)
+            atoms = entry.calc.atom_tree()
+            quad = entry.calc.quad_tree()
+            far_total, near_total = born_flat_sizes(plans.born)
+            far_flat = np.zeros(far_total)
+            near_flat = np.zeros(near_total)
+            born_bounds = slice_bounds(plans.born.row_pair_weights(),
+                                       self.nworkers)
+            for lo, hi in born_bounds:
+                f0 = int(plans.born.far_start[lo])
+                f1 = int(plans.born.far_start[hi])
+                n0 = int(plans.born.near_point_start[lo])
+                n1 = int(plans.born.near_point_start[hi])
+                execute_born_plan(plans.born, atoms, quad,
+                                  row_range=(lo, hi),
+                                  flat_out={"far": far_flat[f0:f1],
+                                            "near": near_flat[n0:n1]})
+            partial = reduce_born_flat(plans.born, atoms, far_flat,
+                                       near_flat)
+            born_sorted = push_integrals_to_atoms(
+                atoms, partial,
+                max_radius=2.0 * entry.molecule.bounding_radius)
+            ectx = EnergyContext.build(atoms, born_sorted, cfg.eps_epol)
+            epol_bounds = slice_bounds(
+                plans.epol.row_pair_weights(nbins=ectx.binning.nbins),
+                self.nworkers)
+            far_terms = np.zeros(plans.epol.nrows)
+            near_terms = np.zeros(plans.epol.nrows)
+            for lo, hi in epol_bounds:
+                ft, nt = epol_row_terms(plans.epol, ectx,
+                                        row_range=(lo, hi))
+                far_terms[lo:hi] = ft
+                near_terms[lo:hi] = nt
+            pair_sum = fold_pair_terms(far_terms, near_terms)
+            energy = epol_from_pair_sum(
+                pair_sum, epsilon_solvent=entry.params.epsilon_solvent)
+        except FleetError:
+            raise
+        except Exception as err:
+            raise SliceError(
+                f"sliced request {req_id} failed: "
+                f"{traceback.format_exc()}") from err
+        return EvalResult(energy=energy, worker=0,
+                          eval_seconds=now() - t0, mode="sliced",
+                          nslices=max(len(born_bounds), len(epol_bounds),
+                                      1))
 
     def forget(self, entry: RegistryEntry) -> None:
         """Nothing published; the registry eviction already dropped it."""
@@ -217,13 +319,86 @@ class _WorkerState:
             pass
 
 
+def _cached_state(cache: dict[str, _WorkerState], name: str, layout: Any,
+                  plan_meta: dict, params: ApproximationParams,
+                  mol_name: str) -> tuple[_WorkerState, bool]:
+    """The worker's prepared state for publication ``name`` (attach and
+    cache on first sight, LRU-bounded); returns ``(state, cold)``."""
+    state = cache.get(name)
+    cold = state is None
+    if cold:
+        state = _WorkerState(
+            SharedArrayBundle.attach(name, layout, pin=False),
+            plan_meta, params, mol_name)
+        cache[name] = state
+        while len(cache) > WORKER_CACHE_ENTRIES:
+            victim = next(k for k in cache if k != name)
+            cache.pop(victim).release()
+    return state, cold
+
+
+def _run_born_slice(state: _WorkerState, rank: int, scratch_name: str,
+                    scratch_layout: Any, lo: int, hi: int) -> list | None:
+    """Round 1 of a sliced request: write this range's flat Born
+    contribution values into the request scratch; returns the write
+    intents under REPRO_CHECKS (else None)."""
+    plan = state.plans.born
+    f0, f1 = int(plan.far_start[lo]), int(plan.far_start[hi])
+    n0 = int(plan.near_point_start[lo])
+    n1 = int(plan.near_point_start[hi])
+    scratch = SharedArrayBundle.attach(scratch_name, scratch_layout,
+                                       pin=False)
+    try:
+        far_view = scratch.view("born_far")
+        near_view = scratch.view("born_near")
+        execute_born_plan(plan, state.atoms, state.quad,
+                          row_range=(lo, hi),
+                          flat_out={"far": far_view[f0:f1],
+                                    "near": near_view[n0:n1]})
+        intents = None
+        if checks_enabled():
+            # Declare this slice's scratch writes so the parent can run
+            # the race detector across every worker of the request: the
+            # kernel writes exactly the flat CSR spans of its row range.
+            tracker = WriteIntentTracker(rank, capture_stacks=False)
+            tracker.record_write("sliced:born_far", far_view.shape,
+                                 slice(f0, f1))
+            tracker.record_write("sliced:born_near", near_view.shape,
+                                 slice(n0, n1))
+            intents = tracker.payload()
+        del far_view, near_view
+        return intents
+    finally:
+        scratch.close()
+
+
+def _run_epol_slice(state: _WorkerState, scratch_name: str,
+                    scratch_layout: Any, lo: int, hi: int
+                    ) -> tuple[np.ndarray, np.ndarray]:
+    """Round 2 of a sliced request: per-row E_pol terms for ``[lo, hi)``
+    against the parent-reduced Born radii in the request scratch."""
+    scratch = SharedArrayBundle.attach(scratch_name, scratch_layout,
+                                       pin=False)
+    try:
+        born_sorted = np.array(scratch.view("born_sorted"))
+    finally:
+        scratch.close()
+    ectx = EnergyContext.build(state.atoms, born_sorted,
+                               state.params.eps_epol)
+    return epol_row_terms(state.plans.epol, ectx, row_range=(lo, hi))
+
+
 def _serve_worker_loop(rank: int, tasks: Any, results: Any) -> None:
     """One warm worker: attach-and-cache molecules, evaluate requests.
 
     Module-level so the spawn start method can import it by name; the
-    loop exits on the pool's shutdown sentinel.
+    loop exits on the pool's shutdown sentinel.  Task kinds: ``"run"``
+    (whole-plan evaluation), ``"born_slice"``/``"epol_slice"`` (one row
+    range of a sliced request), ``"forget"`` (drop cached publication)
+    and :data:`CRASH_NEXT` (test-only fault injection).
     """
     cache: dict[str, _WorkerState] = {}
+    crash_armed = False
     while True:
         task = tasks.get()
         if task is None:
@@ -239,25 +414,44 @@ def _serve_worker_loop(rank: int, tasks: Any, results: Any) -> None:
             if state is not None:
                 state.release()
             continue
+        if kind == CRASH_NEXT:
+            crash_armed = True
+            continue
         req_id = task[1] if len(task) > 1 else None
+        if crash_armed:
+            # Die with the task already dequeued and no result posted --
+            # the shape of a real mid-evaluation worker death.
+            os._exit(3)
         try:
-            _, req_id, name, layout, plan_meta, params, mol_name = task
-            state = cache.get(name)
-            cold = state is None
-            if cold:
-                state = _WorkerState(
-                    SharedArrayBundle.attach(name, layout, pin=False),
-                    plan_meta, params, mol_name)
-                cache[name] = state
-                while len(cache) > WORKER_CACHE_ENTRIES:
-                    victim = next(k for k in cache if k != name)
-                    cache.pop(victim).release()
-            t0 = now()
-            energy = evaluate_pipeline(state.molecule, state.atoms,
-                                       state.quad, state.plans,
-                                       state.params,
-                                       eps_epol=state.params.eps_epol)
-            results.put(("ok", req_id, rank, energy, now() - t0, cold))
+            if kind == "run":
+                _, req_id, name, layout, plan_meta, params, mol_name = task
+                state, cold = _cached_state(cache, name, layout, plan_meta,
+                                            params, mol_name)
+                t0 = now()
+                energy = evaluate_pipeline(state.molecule, state.atoms,
+                                           state.quad, state.plans,
+                                           state.params,
+                                           eps_epol=state.params.eps_epol)
+                results.put(("ok", req_id, rank, energy, now() - t0, cold))
+            elif kind in ("born_slice", "epol_slice"):
+                (_, req_id, name, layout, plan_meta, params, mol_name,
+                 scratch_name, scratch_layout, lo, hi) = task
+                state, cold = _cached_state(cache, name, layout, plan_meta,
+                                            params, mol_name)
+                t0 = now()
+                if kind == "born_slice":
+                    intents = _run_born_slice(state, rank, scratch_name,
+                                              scratch_layout, lo, hi)
+                    results.put(("born_ok", req_id, rank, lo, hi,
+                                 now() - t0, cold, intents))
+                else:
+                    far_t, near_t = _run_epol_slice(state, scratch_name,
+                                                    scratch_layout, lo, hi)
+                    results.put(("epol_ok", req_id, rank, lo, hi,
+                                 np.asarray(far_t), np.asarray(near_t),
+                                 now() - t0, cold))
+            else:
+                raise ValueError(f"unknown worker task kind {kind!r}")
         except BaseException:
             results.put(("error", req_id, rank, traceback.format_exc(),
                          0.0, False))
@@ -282,6 +476,11 @@ class ProcessFleet:
         self._lock = threading.Lock()
         self._published: dict[tuple[str, EpsConfig], _Publication] = {}
         self.publications = 0
+
+    @property
+    def respawns(self) -> int:
+        """Workers replaced after mid-task deaths (degraded-mode count)."""
+        return self._pool.respawns
 
     # -- publication -----------------------------------------------------
     def _ensure_published(self, entry: RegistryEntry,
@@ -338,22 +537,171 @@ class ProcessFleet:
                                    pub.params, pub.mol_name))
             except PoolError as err:
                 raise FleetError(str(err)) from err
+        # Collection is id-based, not count-based: stale results from an
+        # earlier aborted sliced request may still be in flight on the
+        # shared results queue and must not desynchronise this batch.
+        expected = {req_id for req_id, _, _ in items}
         out: dict[int, EvalResult] = {}
         try:
-            for _ in items:
-                kind, req_id, rank, payload, secs, cold = \
-                    self._pool.next_result()
+            while expected:
+                res = self._pool.next_result()
+                kind, req_id = res[0], res[1]
+                if req_id not in expected or kind not in ("ok", "error"):
+                    continue  # a dead request's straggler slice/result
+                expected.discard(req_id)
                 if kind == "ok":
-                    out[req_id] = EvalResult(energy=payload, worker=rank,
+                    _, _, rank, energy, secs, cold = res
+                    out[req_id] = EvalResult(energy=energy, worker=rank,
                                              eval_seconds=secs,
                                              cold_attach=cold)
                 else:
+                    _, _, rank, tb, secs, cold = res
                     out[req_id] = EvalResult(energy=float("nan"),
                                              worker=rank, eval_seconds=secs,
-                                             error=payload)
+                                             error=tb)
         except PoolError as err:
             raise FleetError(str(err)) from err
         return out
+
+    def run_sliced(self, req_id: int, entry: RegistryEntry,
+                   cfg: EpsConfig) -> EvalResult:
+        """One request fanned over every warm worker, bit-identically.
+
+        Two parent-mediated rounds over the request's plans (the serving
+        analogue of ``rank_program``'s hybrid phases):
+
+        1. **Born slices** -- workers fill disjoint flat-CSR spans of a
+           per-request scratch segment; the parent replays the serial
+           scatters (:func:`~repro.serve.sliced.reduce_born_flat`) and
+           pushes Born radii into the scratch;
+        2. **E_pol slices** -- workers return per-row far/near terms
+           against those radii; the parent concatenates ascending and
+           replays the serial fold
+           (:func:`~repro.serve.sliced.fold_pair_terms`).
+
+        Raises :class:`SliceError` when a slice fails or its worker dies
+        (the pool is respawned to full width first -- later requests
+        succeed), :class:`FleetError` when the fleet is unusable.
+        """
+        if self._pool.closed:
+            raise FleetError("fleet is shut down")
+        t0 = now()
+        pub = self._ensure_published(entry, cfg)
+        plans = entry.plans_for(cfg.eps_born, cfg.eps_epol)
+        atoms = entry.calc.atom_tree()
+        far_total, near_total = born_flat_sizes(plans.born)
+        # Per-request scratch: worker-filled flat Born contributions plus
+        # the parent-reduced radii round 2 reads back.  Zero-filled so
+        # rows no slice covers (there are none) could never read junk.
+        scratch = SharedArrayBundle.create({
+            "born_far": np.zeros(max(far_total, 1)),
+            "born_near": np.zeros(max(near_total, 1)),
+            "born_sorted": np.zeros(atoms.tree.npoints),
+        })
+        try:
+            head = (pub.bundle.name, pub.bundle.layout, pub.plan_meta,
+                    pub.params, pub.mol_name, scratch.name, scratch.layout)
+            born_bounds = slice_bounds(plans.born.row_pair_weights(),
+                                       self.nworkers)
+            born_res = self._run_slice_phase(req_id, "born_slice", head,
+                                             born_bounds)
+            cold = any(r[6] for r in born_res)
+            if checks_enabled():
+                self._check_slice_races(req_id, born_res)
+            far_view = scratch.view("born_far")
+            near_view = scratch.view("born_near")
+            partial = reduce_born_flat(plans.born, atoms,
+                                       far_view[:far_total],
+                                       near_view[:near_total])
+            del far_view, near_view
+            born_sorted = push_integrals_to_atoms(
+                atoms, partial,
+                max_radius=2.0 * entry.molecule.bounding_radius)
+            sorted_view = scratch.view("born_sorted")
+            sorted_view[:] = born_sorted
+            del sorted_view
+            epol_bounds = slice_bounds(
+                plans.epol.row_pair_weights(
+                    nbins=epol_nbins(born_sorted, cfg.eps_epol)),
+                self.nworkers)
+            epol_res = self._run_slice_phase(req_id, "epol_slice", head,
+                                             epol_bounds)
+            cold = cold or any(r[8] for r in epol_res)
+            far_terms = np.zeros(plans.epol.nrows)
+            near_terms = np.zeros(plans.epol.nrows)
+            for _, _, _, lo, hi, far_t, near_t, _, _ in epol_res:
+                far_terms[lo:hi] = far_t
+                near_terms[lo:hi] = near_t
+            pair_sum = fold_pair_terms(far_terms, near_terms)
+            energy = epol_from_pair_sum(
+                pair_sum, epsilon_solvent=pub.params.epsilon_solvent)
+        finally:
+            scratch.close()
+            scratch.unlink()
+        return EvalResult(energy=energy, worker=-1,
+                          eval_seconds=now() - t0, cold_attach=cold,
+                          mode="sliced",
+                          nslices=max(len(born_bounds), len(epol_bounds),
+                                      1))
+
+    def _run_slice_phase(self, req_id: int, kind: str, head: tuple,
+                         bounds: list[tuple[int, int]]) -> list:
+        """Dispatch one round of slice tasks and collect its results.
+
+        Id-filtered collection: results for other request ids (stragglers
+        of an aborted sliced request) are skipped, never miscounted.  A
+        slice error raises :class:`SliceError`; a worker death respawns
+        the pool to full width first, so only *this* request fails.
+        """
+        ok_kind = "born_ok" if kind == "born_slice" else "epol_ok"
+        try:
+            for lo, hi in bounds:
+                self._pool.submit((kind, req_id) + head + (lo, hi))
+        except PoolError as err:
+            raise FleetError(str(err)) from err
+        results: list = []
+        while len(results) < len(bounds):
+            try:
+                res = self._pool.next_result()
+            except PoolError as err:
+                respawned = self._respawn_or_raise(err)
+                raise SliceError(
+                    f"worker died mid-slice ({err}); respawned "
+                    f"{respawned} worker(s), request {req_id} lost its "
+                    "in-flight slice") from err
+            if res[1] != req_id:
+                continue  # straggler from an earlier failed request
+            if res[0] == "error":
+                raise SliceError(res[3])
+            if res[0] == ok_kind:
+                results.append(res)
+        results.sort(key=lambda r: r[3])  # ascending row ranges
+        return results
+
+    def _respawn_or_raise(self, err: PoolError) -> int:
+        """Restore pool width after a worker death; escalate to a fatal
+        :class:`FleetError` when no replacement can be started."""
+        try:
+            replaced = self._pool.respawn()
+        except PoolError:
+            replaced = 0
+        if replaced == 0:
+            raise FleetError(str(err)) from err
+        return replaced
+
+    @staticmethod
+    def _check_slice_races(req_id: int, born_res: list) -> None:
+        """REPRO_CHECKS: merge every slice's declared scratch writes and
+        fail the request if any two ranks' spans overlap."""
+        intents = []
+        for res in born_res:
+            if res[7] is not None:
+                intents.extend(intents_from_payload(res[7]))
+        races = find_races(intents)
+        if races:
+            raise SliceError(
+                f"request {req_id}: overlapping scratch writes across "
+                f"slices: {races[0]}")
 
     # -- lifecycle -------------------------------------------------------
     def shutdown(self) -> None:

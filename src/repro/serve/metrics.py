@@ -37,6 +37,20 @@ def _percentile(ordered: list[float], q: float) -> float:
     return ordered[rank - 1]
 
 
+def latency_summary(latencies_seconds: list[float]) -> dict[str, float]:
+    """p50/p95/p99/max/mean (milliseconds) of a latency sample -- the
+    report shape used for overall, per-mode and per-class breakdowns."""
+    ordered = sorted(latencies_seconds)
+    return {
+        "p50_ms": 1e3 * _percentile(ordered, 50),
+        "p95_ms": 1e3 * _percentile(ordered, 95),
+        "p99_ms": 1e3 * _percentile(ordered, 99),
+        "max_ms": 1e3 * (ordered[-1] if ordered else 0.0),
+        "mean_ms": 1e3 * (sum(ordered) / len(ordered)
+                          if ordered else 0.0),
+    }
+
+
 class ServeMetrics:
     """Counters + latency/batch-size samples for one server lifetime."""
 
@@ -49,6 +63,12 @@ class ServeMetrics:
         self._latencies: list[float] = []
         self._batch_sizes: list[int] = []
         self._group_counts: list[int] = []
+        # Per-request parallelism dimension: how each request executed
+        # ("batched" rode a micro-batch, "sliced" fanned over the fleet).
+        self._mode_done: dict[str, int] = {}
+        self._mode_failed: dict[str, int] = {}
+        self._mode_latencies: dict[str, list[float]] = {}
+        self._slice_counts: list[int] = []
         self._started_at = now()
         self._first_submit: float | None = None
         self._first_done: float | None = None
@@ -70,30 +90,60 @@ class ServeMetrics:
             self._batch_sizes.append(int(nrequests))
             self._group_counts.append(int(ngroups))
 
-    def record_done(self, latency_seconds: float, *, ok: bool) -> None:
+    def record_done(self, latency_seconds: float, *, ok: bool,
+                    mode: str = "batched", nslices: int = 1) -> None:
         t = now()
         with self._lock:
             if ok:
                 self.completed += 1
                 self._latencies.append(float(latency_seconds))
+                self._mode_done[mode] = self._mode_done.get(mode, 0) + 1
+                self._mode_latencies.setdefault(mode, []).append(
+                    float(latency_seconds))
+                if mode == "sliced":
+                    self._slice_counts.append(int(nslices))
             else:
                 self.failed += 1
+                self._mode_failed[mode] = self._mode_failed.get(mode, 0) + 1
             if self._first_done is None:
                 self._first_done = t
             self._last_done = t
 
     # -- derived views ---------------------------------------------------
-    def latency_percentiles(self) -> dict[str, float]:
+    def latency_percentiles(self, mode: str | None = None
+                            ) -> dict[str, float]:
+        """Latency summary over all completions, or one mode's."""
         with self._lock:
-            ordered = sorted(self._latencies)
-        return {
-            "p50_ms": 1e3 * _percentile(ordered, 50),
-            "p95_ms": 1e3 * _percentile(ordered, 95),
-            "p99_ms": 1e3 * _percentile(ordered, 99),
-            "max_ms": 1e3 * (ordered[-1] if ordered else 0.0),
-            "mean_ms": 1e3 * (sum(ordered) / len(ordered)
-                              if ordered else 0.0),
-        }
+            sample = (self._latencies if mode is None
+                      else self._mode_latencies.get(mode, []))
+            sample = list(sample)
+        return latency_summary(sample)
+
+    def mode_breakdown(self) -> dict[str, dict]:
+        """Per-mode completion/failure counts and latency summaries, plus
+        slice-count accounting for the sliced mode."""
+        with self._lock:
+            done = dict(self._mode_done)
+            failed = dict(self._mode_failed)
+            lats = {m: list(v) for m, v in self._mode_latencies.items()}
+            slices = list(self._slice_counts)
+        out: dict[str, dict] = {}
+        for mode in sorted(set(done) | set(failed)):
+            out[mode] = {
+                "completed": done.get(mode, 0),
+                "failed": failed.get(mode, 0),
+                "latency": latency_summary(lats.get(mode, [])),
+            }
+        if "sliced" in out:
+            out["sliced"]["slice_requests"] = len(slices)
+            out["sliced"]["mean_slices"] = (sum(slices) / len(slices)
+                                            if slices else 0.0)
+            hist: dict[str, int] = {}
+            for n in slices:
+                hist[str(n)] = hist.get(str(n), 0) + 1
+            out["sliced"]["slice_histogram"] = dict(
+                sorted(hist.items(), key=lambda kv: int(kv[0])))
+        return out
 
     def batch_histogram(self) -> dict[str, int]:
         """How many batches executed at each batch size (JSON-keyed)."""
@@ -140,4 +190,5 @@ class ServeMetrics:
             "throughput_rps": self.throughput_rps(),
             "latency": self.latency_percentiles(),
             "batch_histogram": self.batch_histogram(),
+            "modes": self.mode_breakdown(),
         }

@@ -1,0 +1,57 @@
+"""Batch-vs-slice routing policy: pure decisions, no clocks, no state.
+
+The scheduler must answer one question per request: ride a micro-batch
+with peers (throughput -- the decoy-scoring shape) or be row-sliced
+across the whole fleet (latency -- the paper's headline giant inputs).
+Everything here is a pure function of three numbers:
+
+* the request's **plan row weight** -- the summed exact per-row
+  interaction counts of its Born + E_pol plans
+  (:meth:`repro.plan.schema.InteractionPlan.row_pair_weights`), a
+  measured size signal, not an estimate;
+* the configured **slice threshold** (``ServeConfig.slice_threshold``);
+* the **queue depth** at dispatch time, scaled by
+  ``ServeConfig.slice_queue_scale`` -- under a deep queue the fleet's
+  across-request parallelism is already saturated, so commandeering
+  every worker for one request costs more than it saves and the
+  effective threshold rises.
+
+Purity is load-bearing: the property suite replays decisions and the
+repro-verify effect checker (RV1xx) holds this module to clock-free,
+effect-free inference, so routing can never perturb a served energy --
+it only ever picks *where* the bit-identical pipeline runs.
+"""
+
+from __future__ import annotations
+
+#: Routing outcomes (also the ``mode`` tag on results and metrics).
+MODE_BATCHED = "batched"
+MODE_SLICED = "sliced"
+
+
+def effective_threshold(threshold: float, queue_depth: int,
+                        queue_scale: float = 0.0) -> float:
+    """The queue-adjusted slice threshold.
+
+    Each waiting request raises the bar by ``queue_scale`` (a fraction of
+    the base threshold): ``threshold * (1 + queue_scale * depth)``.
+    ``queue_scale=0`` makes the decision depth-independent.
+    """
+    depth = max(int(queue_depth), 0)
+    return float(threshold) * (1.0 + float(queue_scale) * depth)
+
+
+def decide_mode(row_weight: float, *, threshold: float | None,
+                queue_depth: int = 0, queue_scale: float = 0.0) -> str:
+    """Route one request: :data:`MODE_SLICED` iff its plan row weight
+    reaches the (queue-adjusted) threshold.
+
+    ``threshold=None`` disables intra-request parallelism entirely (the
+    PR-4 behaviour: every request micro-batches).
+    """
+    if threshold is None:
+        return MODE_BATCHED
+    if float(row_weight) >= effective_threshold(threshold, queue_depth,
+                                                queue_scale):
+        return MODE_SLICED
+    return MODE_BATCHED

@@ -93,6 +93,8 @@ class RegistryEntry:
     molecule: Molecule
     calc: PolarizationEnergyCalculator
     nbytes: int = 0
+    #: Memoised :meth:`row_weight` per epsilon configuration.
+    row_weights: dict = dataclasses.field(default_factory=dict, repr=False)
 
     @property
     def params(self) -> ApproximationParams:
@@ -103,6 +105,26 @@ class RegistryEntry:
         through the calculator's bounded :class:`PlanCache`)."""
         return PlanSet(born=self.calc.born_plan(eps_born),
                        epol=self.calc.epol_plan(eps_epol))
+
+    def row_weight(self, eps_born: float, eps_epol: float) -> float:
+        """Total plan row weight for one epsilon configuration -- the
+        scheduler's batch-vs-slice size signal.
+
+        Summed exact per-row interaction counts of the Born and E_pol
+        plans (:meth:`~repro.plan.schema.InteractionPlan.row_pair_weights`
+        at the size-signal default ``nbins=0``): measured work, not an
+        atom-count proxy.  Memoised per configuration -- the plans are
+        cache-mediated, so a warm entry answers from integers.
+        """
+        cfg = (float(eps_born), float(eps_epol))
+        weight = self.row_weights.get(cfg)
+        if weight is None:
+            plans = self.plans_for(eps_born, eps_epol)
+            # Integer interaction counts (addition order free).
+            weight = float(int(plans.born.row_pair_weights().sum())
+                           + int(plans.epol.row_pair_weights().sum()))
+            self.row_weights[cfg] = weight
+        return weight
 
     def warm(self) -> None:
         """Build surface, trees and the default-configuration plans, then

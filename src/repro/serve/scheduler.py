@@ -12,14 +12,23 @@
 * **grouping** -- within a batch, requests sharing a ``(molecule,
   epsilon)`` configuration are grouped in first-seen order, so the fleet
   publishes/builds each configuration once and executes it many times;
+* **routing** -- with a ``slice_threshold`` configured, each group is
+  routed by the pure policy of :mod:`repro.serve.policy`: small
+  molecules micro-batch with peers (throughput), giant molecules are
+  row-sliced across every warm worker (latency,
+  :meth:`~repro.serve.fleet.ProcessFleet.run_sliced`); the decision
+  reads only the group's plan row weight, the threshold and the queue
+  depth at dispatch;
 * **resolution** -- fleet results resolve the per-request futures and
-  feed :class:`~repro.serve.metrics.ServeMetrics`.
+  feed :class:`~repro.serve.metrics.ServeMetrics` (tagged with their
+  execution ``mode`` and slice count).
 
-Determinism: batching and grouping only decide *when and where* a request
-evaluates, never *what* it evaluates -- every request independently runs
-the full-plan serial kernel (see :mod:`repro.serve.fleet`), so arrival
-order, batch boundaries and fleet width cannot change a single bit of any
-served energy.
+Determinism: batching, grouping and routing only decide *when and where*
+a request evaluates, never *what* it evaluates -- batched requests run
+the full-plan serial kernel and sliced requests reduce through the
+order-preserving replay of :mod:`repro.serve.sliced` (see
+:mod:`repro.serve.fleet`), so arrival order, batch boundaries, fleet
+width and routing mode cannot change a single bit of any served energy.
 """
 
 from __future__ import annotations
@@ -32,8 +41,10 @@ from dataclasses import dataclass, field
 from ..core.params import ApproximationParams
 from ..molecule.molecule import Molecule
 from .client import ServeFuture
-from .fleet import EpsConfig, FleetError, InlineFleet, ProcessFleet
+from .fleet import (EpsConfig, FleetError, InlineFleet, ProcessFleet,
+                    SliceError)
 from .metrics import ServeMetrics, now
+from .policy import MODE_SLICED, decide_mode
 from .registry import MoleculeRegistry, RegistryEntry
 
 
@@ -59,6 +70,14 @@ class ServeConfig:
     registry_max_bytes: int | None = None
     #: Optional per-molecule plan-cache byte budget.
     plan_cache_bytes: int | None = None
+    #: Plan row weight at/above which a request is row-sliced across the
+    #: whole fleet instead of micro-batched (``None`` disables
+    #: intra-request parallelism -- the PR-4 behaviour).
+    slice_threshold: float | None = None
+    #: Queue-depth scaling of the slice threshold: each waiting request
+    #: raises the effective threshold by this fraction of the base (a
+    #: deep queue already saturates the fleet across requests).
+    slice_queue_scale: float = 0.0
 
     def __post_init__(self) -> None:
         if self.max_batch < 1:
@@ -67,6 +86,10 @@ class ServeConfig:
             raise ValueError("queue_capacity must be >= 1")
         if self.max_wait_seconds < 0:
             raise ValueError("max_wait_seconds must be >= 0")
+        if self.slice_threshold is not None and self.slice_threshold <= 0:
+            raise ValueError("slice_threshold must be > 0 (or None)")
+        if self.slice_queue_scale < 0:
+            raise ValueError("slice_queue_scale must be >= 0")
 
 
 @dataclass
@@ -221,9 +244,16 @@ class EpolServer:
         for req in batch:
             groups.setdefault((req.key, req.cfg), []).append(req)
         self.metrics.record_batch(len(batch), len(groups))
+        # Queue depth sampled once per dispatch -- the policy's load
+        # signal (requests admitted after this point see the next batch).
+        with self._lock:
+            depth = len(self._pending)
 
         items: list[tuple[int, RegistryEntry, EpsConfig]] = []
         by_id: dict[int, _Request] = {}
+        sliced: list[tuple[_Request, RegistryEntry, EpsConfig]] = []
+        can_slice = (self.config.slice_threshold is not None
+                     and hasattr(self.fleet, "run_sliced"))
         for (key, cfg), reqs in groups.items():
             try:
                 entry = self.registry.get(key)
@@ -232,36 +262,82 @@ class EpolServer:
                     req.future._reject(err)
                     self.metrics.record_done(0.0, ok=False)
                 continue
-            for req in reqs:
-                items.append((req.req_id, entry, cfg))
-                by_id[req.req_id] = req
-
-        if not items:
-            return
-        try:
-            results = self.fleet.run_batch(items)
-        except FleetError as err:
-            # The fleet is unusable (worker death/shutdown): fail this
-            # batch loudly and stop admitting.
-            for req in by_id.values():
-                req.future._reject(err)
-                self.metrics.record_done(0.0, ok=False)
-            with self._lock:
-                self._stopped = True
-            return
-        for req_id, req in by_id.items():
-            res = results.get(req_id)
-            latency = now() - req.submitted_at
-            if res is None or res.error is not None:
-                msg = res.error if res is not None else "no result returned"
-                req.future._reject(FleetError(msg))
-                self.metrics.record_done(latency, ok=False)
+            mode = "batched"
+            if can_slice:
+                mode = decide_mode(
+                    entry.row_weight(cfg.eps_born, cfg.eps_epol),
+                    threshold=self.config.slice_threshold,
+                    queue_depth=depth,
+                    queue_scale=self.config.slice_queue_scale)
+            if mode == MODE_SLICED:
+                for req in reqs:
+                    sliced.append((req, entry, cfg))
             else:
-                req.future._resolve(res.energy, worker=res.worker,
-                                    eval_seconds=res.eval_seconds,
-                                    cold_attach=res.cold_attach,
-                                    latency_seconds=latency)
-                self.metrics.record_done(latency, ok=True)
+                for req in reqs:
+                    items.append((req.req_id, entry, cfg))
+                    by_id[req.req_id] = req
+
+        # Batched group first: small peers are not held hostage by a
+        # giant request commandeering the whole fleet.
+        if items:
+            try:
+                results = self.fleet.run_batch(items)
+            except FleetError as err:
+                # The fleet is unusable (worker death/shutdown): fail this
+                # batch loudly and stop admitting.
+                for req in by_id.values():
+                    req.future._reject(err)
+                    self.metrics.record_done(0.0, ok=False)
+                for req, _, _ in sliced:
+                    req.future._reject(err)
+                    self.metrics.record_done(0.0, ok=False,
+                                             mode=MODE_SLICED)
+                with self._lock:
+                    self._stopped = True
+                return
+            for req_id, req in by_id.items():
+                res = results.get(req_id)
+                latency = now() - req.submitted_at
+                if res is None or res.error is not None:
+                    msg = (res.error if res is not None
+                           else "no result returned")
+                    req.future._reject(FleetError(msg))
+                    self.metrics.record_done(latency, ok=False)
+                else:
+                    req.future._resolve(res.energy, worker=res.worker,
+                                        eval_seconds=res.eval_seconds,
+                                        cold_attach=res.cold_attach,
+                                        latency_seconds=latency,
+                                        mode=res.mode, nslices=res.nslices)
+                    self.metrics.record_done(latency, ok=True,
+                                             mode=res.mode,
+                                             nslices=res.nslices)
+
+        # Sliced requests run one at a time -- each owns the whole fleet.
+        for req, entry, cfg in sliced:
+            try:
+                res = self.fleet.run_sliced(req.req_id, entry, cfg)
+            except SliceError as err:
+                # Request-scoped failure: the fleet recovered (dead
+                # workers respawned); keep serving.
+                req.future._reject(err)
+                self.metrics.record_done(now() - req.submitted_at,
+                                         ok=False, mode=MODE_SLICED)
+                continue
+            except FleetError as err:
+                req.future._reject(err)
+                self.metrics.record_done(0.0, ok=False, mode=MODE_SLICED)
+                with self._lock:
+                    self._stopped = True
+                return
+            latency = now() - req.submitted_at
+            req.future._resolve(res.energy, worker=res.worker,
+                                eval_seconds=res.eval_seconds,
+                                cold_attach=res.cold_attach,
+                                latency_seconds=latency,
+                                mode=res.mode, nslices=res.nslices)
+            self.metrics.record_done(latency, ok=True, mode=res.mode,
+                                     nslices=res.nslices)
 
     def _on_evict(self, entry: RegistryEntry) -> None:
         self.fleet.forget(entry)
@@ -275,4 +351,5 @@ class EpolServer:
         out["nworkers"] = self.fleet.nworkers
         if isinstance(self.fleet, ProcessFleet):
             out["publications"] = self.fleet.publications
+            out["respawns"] = self.fleet.respawns
         return out

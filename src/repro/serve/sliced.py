@@ -1,0 +1,102 @@
+"""Intra-request row slicing: pure plan-partitioning and reduction.
+
+One giant molecule, every warm worker: the serving layer splits a
+request's interaction plans into contiguous weight-balanced row ranges
+(the load-balance scheme of ``rank_program`` in
+:mod:`repro.parallel.procpool.runner`), executes each range on a
+different worker, and reduces the partials here.  The reduction is the
+part that must not drift by a bit, so it replays the *exact* serial
+operations instead of summing scalar partials:
+
+* **Born**: workers write each flat CSR contribution value -- once, by
+  position -- into disjoint slices of two shared arrays
+  (:func:`repro.plan.executor.execute_born_plan` with ``flat_out``);
+  :func:`reduce_born_flat` then performs the single full-range
+  ``np.add.at`` scatters, i.e. the same index arrays in the same
+  row-major element order as a serial full-plan execution.
+* **E_pol**: workers return per-row far/near terms
+  (:func:`repro.plan.executor.epol_row_terms`); the reducer concatenates
+  them in ascending row order and :func:`fold_pair_terms` replays the
+  serial interleaved left fold (far before near within each row).
+
+Accumulation order is therefore identical to
+:func:`repro.serve.fleet.evaluate_pipeline` and to a cold
+``driver.run()`` regardless of slice count -- worker width picks only
+*who computes which rows*, never the order anything is added.  Every
+function in this module is pure (no clocks, no processes, no shared
+state); the fleets own transport and timing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.binning import build_binning
+from ..core.born import AtomTreeData, BornPartial
+from ..octree.partition import segment_by_weight
+from ..plan.schema import InteractionPlan
+
+
+def slice_bounds(weights: np.ndarray, nslices: int
+                 ) -> list[tuple[int, int]]:
+    """Contiguous weight-balanced row ranges covering ``[0, len(weights))``
+    exactly once, in ascending order; empty ranges (more slices than
+    rows, or zero-weight tails) are dropped."""
+    bounds = segment_by_weight(np.asarray(weights), int(nslices))
+    return [(int(lo), int(hi)) for lo, hi in bounds if hi > lo]
+
+
+def born_flat_sizes(plan: InteractionPlan) -> tuple[int, int]:
+    """Total flat CSR entry counts ``(far, near)`` of a Born plan -- the
+    scratch-array sizes one sliced request needs."""
+    n = plan.nrows
+    return (int(plan.far_start[n]), int(plan.near_point_start[n]))
+
+
+def reduce_born_flat(plan: InteractionPlan, atoms: AtomTreeData,
+                     far_flat: np.ndarray, near_flat: np.ndarray
+                     ) -> BornPartial:
+    """The serial Born scatter, replayed over worker-filled flat arrays.
+
+    ``far_flat``/``near_flat`` must carry every flat contribution value
+    of the full plan (each slot written by exactly one slice).  The two
+    ``np.add.at`` calls below are the ones a full-range
+    :func:`~repro.plan.executor.execute_born_plan` would have issued --
+    same index arrays, same row-major element order -- so the returned
+    partial is bit-identical to the serial execution however the rows
+    were partitioned.
+    """
+    far_total, near_total = born_flat_sizes(plan)
+    if far_flat.shape != (far_total,) or near_flat.shape != (near_total,):
+        raise ValueError(
+            f"flat arrays must have shapes ({far_total},)/({near_total},), "
+            f"got {far_flat.shape}/{near_flat.shape}")
+    partial = BornPartial.zeros(atoms)
+    partial.counters = plan.counters(0, plan.nrows)
+    if far_total:
+        np.add.at(partial.s_node, plan.far_nodes[:far_total], far_flat)
+    if near_total:
+        np.add.at(partial.s_atom, plan.near_points[:near_total], near_flat)
+    return partial
+
+
+def epol_nbins(born_sorted: np.ndarray, eps_epol: float) -> int:
+    """The energy binning width for a Born-radii vector -- what
+    ``row_pair_weights(nbins=...)`` needs to weigh E_pol rows without
+    building a full :class:`~repro.core.energy.EnergyContext`."""
+    return int(build_binning(born_sorted, eps_epol).nbins)
+
+
+def fold_pair_terms(far_terms: np.ndarray,
+                    near_terms: np.ndarray) -> float:
+    """The serial pair-sum fold over full-plan per-row term arrays:
+    ascending row order, far before near within a row -- exactly the
+    left fold of :func:`~repro.plan.executor.execute_epol_plan` (IEEE
+    addition is not associative; this order is the contract)."""
+    if far_terms.shape != near_terms.shape:
+        raise ValueError("far/near term arrays must align row for row")
+    total = 0.0
+    for i in range(len(far_terms)):
+        total += far_terms[i]
+        total += near_terms[i]
+    return float(total)

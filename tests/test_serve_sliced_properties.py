@@ -1,0 +1,128 @@
+"""Property tests for the batch-vs-slice policy and slice decomposition.
+
+Three invariants the sliced serving path leans on:
+
+* :func:`repro.serve.policy.decide_mode` is a pure, monotone function of
+  its arguments -- same inputs always give the same route, heavier
+  requests never flip back to batched, and queue pressure only ever
+  *raises* the bar for slicing;
+* :func:`repro.serve.sliced.slice_bounds` partitions ``[0, nrows)``
+  exactly -- every row in exactly one contiguous range, for any
+  non-negative weight profile and any worker count;
+* the served energy is invariant to how many slices the plan is cut
+  into (the parent replays the serial reduction, so routing and fleet
+  width can only change *where* rows evaluate, never the bits).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.driver import PolarizationEnergyCalculator
+from repro.molecule.generators import protein_blob
+from repro.serve import (EpsConfig, InlineFleet, MODE_BATCHED, MODE_SLICED,
+                         MoleculeRegistry, decide_mode, slice_bounds)
+
+_weights = st.lists(st.integers(min_value=0, max_value=1000),
+                    min_size=0, max_size=60)
+_row_weight = st.floats(min_value=0.0, max_value=1e9,
+                        allow_nan=False, allow_infinity=False)
+_threshold = st.floats(min_value=1e-6, max_value=1e9,
+                       allow_nan=False, allow_infinity=False)
+_depth = st.integers(min_value=0, max_value=64)
+_scale = st.floats(min_value=0.0, max_value=10.0,
+                   allow_nan=False, allow_infinity=False)
+
+
+class TestDecideMode:
+    @given(w=_row_weight, t=_threshold, d=_depth, s=_scale)
+    @settings(max_examples=200, deadline=None)
+    def test_pure_and_total(self, w, t, d, s):
+        first = decide_mode(w, threshold=t, queue_depth=d, queue_scale=s)
+        assert first in (MODE_BATCHED, MODE_SLICED)
+        # Purity: the decision is a function of its arguments alone.
+        assert decide_mode(w, threshold=t, queue_depth=d,
+                           queue_scale=s) == first
+
+    @given(w=_row_weight, extra=_row_weight, t=_threshold, d=_depth,
+           s=_scale)
+    @settings(max_examples=200, deadline=None)
+    def test_monotone_in_weight(self, w, extra, t, d, s):
+        """If a request slices, any heavier request also slices."""
+        if decide_mode(w, threshold=t, queue_depth=d,
+                       queue_scale=s) == MODE_SLICED:
+            assert decide_mode(w + extra, threshold=t, queue_depth=d,
+                               queue_scale=s) == MODE_SLICED
+
+    @given(w=_row_weight, t=_threshold, d=_depth, s=_scale)
+    @settings(max_examples=200, deadline=None)
+    def test_queue_pressure_only_raises_the_bar(self, w, t, d, s):
+        """A loaded queue can demote slice -> batch, never the reverse:
+        slicing under depth ``d`` implies slicing under an idle queue."""
+        if decide_mode(w, threshold=t, queue_depth=d,
+                       queue_scale=s) == MODE_SLICED:
+            assert decide_mode(w, threshold=t, queue_depth=0,
+                               queue_scale=s) == MODE_SLICED
+
+    @given(w=_row_weight, d=_depth, s=_scale)
+    @settings(max_examples=50, deadline=None)
+    def test_none_threshold_disables_slicing(self, w, d, s):
+        assert decide_mode(w, threshold=None, queue_depth=d,
+                           queue_scale=s) == MODE_BATCHED
+
+
+class TestSliceBounds:
+    @given(weights=_weights, nslices=st.integers(min_value=1, max_value=8))
+    @settings(max_examples=200, deadline=None)
+    def test_exact_cover(self, weights, nslices):
+        """The returned ranges tile ``[0, n)``: ascending, contiguous,
+        non-empty, every row in exactly one slice."""
+        n = len(weights)
+        bounds = slice_bounds(np.asarray(weights, dtype=np.int64), nslices)
+        assert len(bounds) <= min(nslices, n) if n else bounds == []
+        covered = []
+        prev_hi = 0
+        for lo, hi in bounds:
+            assert lo == prev_hi, "ranges must be contiguous"
+            assert hi > lo, "empty ranges must be dropped"
+            covered.extend(range(lo, hi))
+            prev_hi = hi
+        assert covered == list(range(n))
+
+    @given(weights=_weights)
+    @settings(max_examples=50, deadline=None)
+    def test_single_slice_is_whole_range(self, weights):
+        n = len(weights)
+        bounds = slice_bounds(np.asarray(weights, dtype=np.int64), 1)
+        assert bounds == ([(0, n)] if n else [])
+
+
+#: Small but multi-row molecule; the energy property re-slices it.
+_MOLECULE = protein_blob(150, seed=87)
+_STATE: dict = {}
+
+
+def _entry():
+    """Warm registry entry + cold reference, built once per module."""
+    if not _STATE:
+        reg = MoleculeRegistry()
+        entry = reg.get(reg.register(_MOLECULE))
+        _STATE["registry"] = reg  # keep the entry alive
+        _STATE["entry"] = entry
+        _STATE["cfg"] = EpsConfig.resolve(entry.params)
+        _STATE["reference"] = \
+            PolarizationEnergyCalculator(_MOLECULE).run().energy
+    return _STATE
+
+
+class TestEnergyInvariance:
+    @given(nslices=st.integers(min_value=1, max_value=6))
+    @settings(max_examples=12, deadline=None)
+    def test_energy_invariant_to_slice_count(self, nslices):
+        state = _entry()
+        res = InlineFleet(nslices).run_sliced(0, state["entry"],
+                                              state["cfg"])
+        assert res.error is None
+        assert res.energy == state["reference"]  # exact float equality
