@@ -55,6 +55,12 @@ _SEEDED_RNG_CTORS = frozenset({
 #: ``random``-module entry points that never take a seed (REP007).
 _ALWAYS_UNSEEDED = frozenset({"SystemRandom"})
 
+#: Blocking methods that accept a ``timeout`` and wait forever without one
+#: (REP008).  Only the zero-argument spelling is flagged: any positional
+#: or keyword argument is taken as a bound (or a non-blocking use like
+#: ``dict.get(key)`` / ``str.join(parts)``).
+_BLOCKING_ATTRS = frozenset({"get", "wait", "join"})
+
 
 @dataclass(frozen=True)
 class Finding:
@@ -176,13 +182,14 @@ class _Visitor(ast.NodeVisitor):
                        f"'from {mod} import {names}' outside procpool/")
         self.generic_visit(node)
 
-    # -- calls (REP001, REP002, REP003, REP005, REP007) ----------------
+    # -- calls (REP001, REP002, REP003, REP005, REP007, REP008) --------
     def visit_Call(self, node: ast.Call) -> None:
         self._check_unordered_sum(node)
         self._check_foreign_reduction(node)
         self._check_wallclock(node)
         self._check_dtype(node)
         self._check_rng(node)
+        self._check_service_block(node)
         self.generic_visit(node)
 
     def _check_unordered_sum(self, node: ast.Call) -> None:
@@ -311,6 +318,19 @@ class _Visitor(ast.NodeVisitor):
             return
         self._emit("REP007", node,
                    f"{origin}.{leaf}() draws from hidden global RNG state")
+
+    def _check_service_block(self, node: ast.Call) -> None:
+        """REP008: ``x.get()`` / ``x.wait()`` / ``x.join()`` with neither
+        arguments nor a ``timeout=`` keyword blocks a serving thread
+        forever if the producing side dies."""
+        func = node.func
+        if not (isinstance(func, ast.Attribute)
+                and func.attr in _BLOCKING_ATTRS
+                and not node.args and not node.keywords):
+            return
+        self._emit("REP008", node,
+                   f"unbounded blocking .{func.attr}() in service code "
+                   "(no timeout)")
 
     # -- bare for-loops (REP002 rank reductions, REP006 leaf loops) ----
     def visit_For(self, node: ast.For) -> None:

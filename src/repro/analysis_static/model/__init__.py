@@ -1,0 +1,56 @@
+"""repro-model: protocol model checking + slice-disjointness proofs.
+
+The static counterpart of the serving stack's concurrency claims (see
+docs/ANALYSIS.md section 5):
+
+* :mod:`.machine` -- a deterministic bounded explicit-state model
+  checker (labelled transition systems, BFS over all interleavings,
+  counterexample traces);
+* :mod:`.annotations` -- the runtime ``@protocol_event`` mark linking
+  implementation methods to model events, plus the trace recorder the
+  conformance tests replay through :meth:`~.machine.Model.accepts`;
+* :mod:`.extract` -- AST code facts anchoring model transitions to the
+  real source (a failed fact weakens the model, whose re-exploration
+  then shows the regression as an interleaving);
+* :mod:`.protocols` -- the scheduler / future / pool / shm models;
+* :mod:`.disjoint` -- the symbolic chain/span/axiom proof that sliced
+  execution writes pairwise-disjoint, exactly-covering flat ranges;
+* :mod:`.checks` -- the repro-verify pass emitting RV401--RV405.
+
+Wired into ``python -m repro.verify`` (check families ``model`` and
+``disjoint``); findings flow through the standard reporters, baseline
+ratchet and ``allow=`` suppressions.
+"""
+
+from .annotations import (events_for, protocol_event, protocol_marks,
+                          record_events)
+from .checks import ModelChecker
+from .disjoint import DisjointProver, ProofStep, prove
+from .machine import (ExploreResult, Invariant, Model, Obligation,
+                      Transition, Violation)
+from .protocols import (SPECS, build_future_model, build_models,
+                        build_pool_model, build_scheduler_model,
+                        build_shm_model)
+
+__all__ = [
+    "DisjointProver",
+    "ExploreResult",
+    "Invariant",
+    "Model",
+    "ModelChecker",
+    "Obligation",
+    "ProofStep",
+    "SPECS",
+    "Transition",
+    "Violation",
+    "build_future_model",
+    "build_models",
+    "build_pool_model",
+    "build_scheduler_model",
+    "build_shm_model",
+    "events_for",
+    "protocol_event",
+    "protocol_marks",
+    "prove",
+    "record_events",
+]

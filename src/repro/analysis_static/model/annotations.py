@@ -1,0 +1,95 @@
+"""Protocol-event annotations: the bridge between models and code.
+
+``@protocol_event("scheduler", "admit")`` marks a method as the
+implementation of one observable event of one protocol model.  The mark
+serves two masters:
+
+* **statically**, :mod:`repro.analysis_static.model.extract` scans for
+  the decorator in the AST, so the conformance checker can assert that
+  every event a model requires is implemented (and that no annotation
+  names an event the model does not know) -- RV405;
+* **at runtime**, tests wrap a scenario in :func:`record_events` and the
+  decorated methods append ``"protocol:event"`` entries to a recorder,
+  which :meth:`repro.analysis_static.model.machine.Model.accepts` then
+  replays against the model -- the conformance test the tentpole asks
+  for.
+
+Outside an active recorder the wrapper is a tuple check and an attribute
+read -- no locks, no allocation -- so annotating the hot serving path is
+free in production.
+"""
+
+from __future__ import annotations
+
+import functools
+from contextlib import contextmanager
+from typing import Any, Callable, Iterable, Iterator, TypeVar
+
+F = TypeVar("F", bound=Callable[..., Any])
+
+#: Attribute stamped on annotated callables (read by the AST scan and
+#: by :func:`protocol_marks`).
+MARK_ATTR = "__protocol_event__"
+
+
+class _Recorder:
+    """Process-global event sink.
+
+    Global rather than thread-local on purpose: the protocols under test
+    span threads (a client submits, the scheduler thread dispatches and
+    resolves), and the conformance trace must see both sides.
+    ``list.append`` is atomic under the GIL, so concurrent emitters
+    interleave without tearing.  Worker *processes* are invisible to the
+    recorder -- their model transitions are ``internal`` for exactly
+    that reason.
+    """
+
+    events: list[str] | None = None
+
+
+_recorder = _Recorder()
+
+
+def protocol_event(protocol: str, event: str) -> Callable[[F], F]:
+    """Mark ``fn`` as emitting observable ``event`` of ``protocol``."""
+    if not protocol or not event:
+        raise ValueError("protocol_event requires non-empty names")
+
+    def deco(fn: F) -> F:
+        @functools.wraps(fn)
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
+            events = _recorder.events
+            if events is not None:
+                events.append(f"{protocol}:{event}")
+            return fn(*args, **kwargs)
+
+        setattr(wrapper, MARK_ATTR, (protocol, event))
+        return wrapper  # type: ignore[return-value]
+
+    return deco
+
+
+def protocol_marks(obj: Any) -> tuple[str, str] | None:
+    """The ``(protocol, event)`` mark of ``obj``, or None."""
+    return getattr(obj, MARK_ATTR, None)
+
+
+@contextmanager
+def record_events() -> Iterator[list[str]]:
+    """Collect ``"protocol:event"`` entries from annotated calls made
+    anywhere in this process while the context is active."""
+    events: list[str] = []
+    prev = _recorder.events
+    _recorder.events = events
+    try:
+        yield events
+    finally:
+        _recorder.events = prev
+
+
+def events_for(events: Iterable[str], protocol: str) -> list[str]:
+    """Filter a recorded stream down to one protocol's observable trace,
+    rewritten to the ``"process:label"`` alphabet-free form the models
+    use (``protocol:event`` -> ``event``)."""
+    prefix = protocol + ":"
+    return [e[len(prefix):] for e in events if e.startswith(prefix)]

@@ -1,0 +1,137 @@
+"""repro-verify integration for the protocol models (RV401--RV405).
+
+:class:`ModelChecker` runs three passes over the loaded program:
+
+1. **conformance** (RV405) -- every code fact backing a model transition
+   must hold on the implementation, every protocol component the models
+   require must carry its ``@protocol_event`` annotation, every
+   annotation must name an event the model knows, and the scheduler's
+   liveness bounds must be named ``ServeConfig`` fields (one source of
+   truth, see docs/ANALYSIS.md section 5);
+2. **weakening** -- each failed fact removes the guarantee it backed
+   from the model (see :func:`~.protocols.build_models`);
+3. **exploration** -- every applicable model is explored exhaustively;
+   violations render as counterexample interleavings under RV401
+   (deadlock), RV402 (lost future), RV403 (admission bound) or RV404
+   (shm lifecycle).
+
+Models whose anchor function is absent from the program are skipped
+silently, so fixture trees and single-file runs only ever see the
+protocols they contain.
+"""
+
+from __future__ import annotations
+
+from ..verify.program import Program
+from ..verify.report import CheckContext
+from . import extract
+from .protocols import SPECS, ProtocolSpec, alphabet, build_models
+
+#: Depth bound for exploration.  Every model here quiesces well inside
+#: this bound; raising it only matters for future, larger models.
+MAX_DEPTH = 48
+
+#: ServeConfig fields the scheduler model reads as its liveness bounds.
+LIVENESS_FIELDS = ("result_timeout_seconds", "stop_join_seconds")
+
+
+class ModelChecker:
+    """Protocol model checking as a repro-verify pass."""
+
+    def __init__(self, program: Program, *, max_depth: int = MAX_DEPTH) -> None:
+        self.program = program
+        self.max_depth = max_depth
+
+    # -- helpers ---------------------------------------------------------
+    def _emit_at(self, ctx: CheckContext, check: str,
+                 fn_suffix: str, message: str) -> None:
+        fn = extract.find_function(self.program, fn_suffix)
+        if fn is None:
+            return
+        mod = self.program.modules[fn.modname]
+        ctx.emit(check, str(mod.path), fn.lineno, 1, fn.qualname, message)
+
+    # -- the pass --------------------------------------------------------
+    def run_checks(self, ctx: CheckContext) -> None:
+        built = build_models(self.program)
+        marks = extract.scan_protocol_marks(self.program)
+        self._check_annotations(ctx, built, marks)
+        self._check_liveness_bounds(ctx, built)
+        for name in sorted(built):
+            spec, model, failed = built[name]
+            for fact, fn in failed:
+                mod = self.program.modules[fn.modname]
+                ctx.emit("RV405", str(mod.path), fn.lineno, 1, fn.qualname,
+                         f"protocol {spec.name!r} conformance: "
+                         f"{fact.describe}")
+            result = model.explore(max_depth=self.max_depth)
+            for v in result.violations:
+                self._emit_at(
+                    ctx, spec.classify(v.kind), spec.anchor,
+                    f"{spec.title}: {v.kind} at '{v.name}' -- "
+                    f"counterexample interleaving: {v.render_trace()}")
+
+    def _check_annotations(
+        self, ctx: CheckContext,
+        built: dict[str, tuple[ProtocolSpec, object, list]],
+        marks: dict[tuple[str, str], list],
+    ) -> None:
+        known = {spec.name for spec in SPECS}
+        # Marks pointing at nothing the models know.
+        for (proto, event), fns in sorted(marks.items()):
+            for fn in fns:
+                mod = self.program.modules[fn.modname]
+                if proto == "<malformed>":
+                    ctx.emit("RV405", str(mod.path), fn.lineno, 1,
+                             fn.qualname,
+                             "@protocol_event needs exactly two string "
+                             "literals (protocol, event)")
+                elif proto in built:
+                    spec, model, _ = built[proto]
+                    if event not in alphabet(model):  # type: ignore[arg-type]
+                        ctx.emit(
+                            "RV405", str(mod.path), fn.lineno, 1,
+                            fn.qualname,
+                            f"@protocol_event names unknown event "
+                            f"{event!r} of protocol {proto!r} "
+                            f"(model alphabet: "
+                            f"{sorted(alphabet(model))})")  # type: ignore[arg-type]
+                elif proto not in known:
+                    ctx.emit("RV405", str(mod.path), fn.lineno, 1,
+                             fn.qualname,
+                             f"@protocol_event names unknown protocol "
+                             f"{proto!r} (known: {sorted(known)})")
+        # Required annotations that are missing.
+        for name in sorted(built):
+            spec, _, _ = built[name]
+            for rm in spec.marks:
+                fn = extract.find_function(self.program, rm.anchor)
+                if fn is None:
+                    continue
+                carried = any(f.qualname == fn.qualname
+                              for f in marks.get((rm.protocol, rm.event), []))
+                if not carried:
+                    mod = self.program.modules[fn.modname]
+                    ctx.emit(
+                        "RV405", str(mod.path), fn.lineno, 1, fn.qualname,
+                        f"protocol component lost its annotation: expected "
+                        f"@protocol_event({rm.protocol!r}, {rm.event!r})")
+
+    def _check_liveness_bounds(
+        self, ctx: CheckContext,
+        built: dict[str, tuple[ProtocolSpec, object, list]],
+    ) -> None:
+        if "scheduler" not in built:
+            return
+        defaults = extract.dataclass_defaults(self.program, ".ServeConfig")
+        if not defaults:
+            return  # scheduler copied without its config class
+        for fname in LIVENESS_FIELDS:
+            value = defaults.get(fname)
+            if isinstance(value, (int, float)) and value > 0:
+                continue
+            self._emit_at(
+                ctx, "RV405", ".ServeConfig.__post_init__",
+                f"scheduler liveness bound {fname!r} must be a positive "
+                f"ServeConfig field (model and implementation share one "
+                f"source of truth); found {value!r}")

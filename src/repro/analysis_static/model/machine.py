@@ -1,0 +1,282 @@
+"""Deterministic bounded explicit-state model checking.
+
+The serving stack composes a scheduler thread, worker processes, futures
+and shared-memory segments into a protocol whose safety today is argued
+in docstrings and exercised by tests.  This module gives the repo a tiny
+model checker so those arguments become *checked* models:
+
+* a :class:`Model` is a set of named processes, each a labelled
+  transition system over symbolic locations, plus a dictionary of shared
+  variables (hashable values only);
+* :meth:`Model.explore` enumerates **every** interleaving of enabled
+  transitions up to a depth bound with a BFS over canonical state
+  tuples, checking invariants at each state and terminal obligations at
+  each quiescent state;
+* every violation carries the full event trace that produced it, so a
+  finding renders as a counterexample interleaving, not a shrug.
+
+Determinism is load-bearing (REP003/REP007 apply to the checker too):
+states are canonical sorted tuples, transitions fire in declaration
+order, and the exploration never consults a clock or an RNG -- two runs
+over the same model produce byte-identical violation lists.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Hashable, Iterable, Mapping
+
+#: Mutable view of a state handed to guards/updates/invariants: process
+#: locations plus shared variables, merged into one dict.  Values must
+#: stay hashable (tuples/frozensets, not lists/sets) -- canonicalisation
+#: sorts and hashes them.
+State = dict[str, Any]
+
+# Violation kinds (mapped onto RV4xx check ids by the verify wiring).
+DEADLOCK = "deadlock"
+STUCK_PROCESS = "stuck-process"
+INVARIANT = "invariant"
+OBLIGATION = "obligation"
+TRUNCATED = "truncated"
+
+
+@dataclass(frozen=True)
+class Transition:
+    """One guarded step of one process.
+
+    ``guard`` reads the state (process locations live under the process
+    name, shared variables under their own keys) and returns whether the
+    step is enabled; ``update`` mutates a *copy* of the shared variables
+    in place.  ``internal`` transitions do not appear in observable
+    traces (used by :meth:`Model.accepts` for conformance checking).
+    """
+
+    process: str
+    label: str
+    source: str
+    target: str
+    guard: Callable[[State], bool] | None = None
+    update: Callable[[State], None] | None = None
+    internal: bool = False
+    #: Disambiguates same-label transitions in counterexample traces
+    #: (the observable alphabet is ``label`` alone).
+    detail: str = ""
+
+    def enabled(self, state: State) -> bool:
+        if state[self.process] != self.source:
+            return False
+        return True if self.guard is None else bool(self.guard(state))
+
+    def event(self) -> str:
+        base = f"{self.process}:{self.label}"
+        return f"{base}({self.detail})" if self.detail else base
+
+
+@dataclass(frozen=True)
+class Invariant:
+    """A predicate that must hold in every reachable state."""
+
+    name: str
+    check: Callable[[State], bool]
+    describe: str = ""
+
+
+@dataclass(frozen=True)
+class Obligation:
+    """A predicate that must hold in every *terminal* reachable state
+    (a state where no transition is enabled and every process is in a
+    final location)."""
+
+    name: str
+    check: Callable[[State], bool]
+    describe: str = ""
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One property failure with its counterexample interleaving."""
+
+    kind: str
+    name: str
+    trace: tuple[str, ...]
+    state: tuple[tuple[str, Hashable], ...]
+
+    def render_trace(self) -> str:
+        if not self.trace:
+            return "<initial state>"
+        return " -> ".join(self.trace)
+
+
+@dataclass
+class ExploreResult:
+    violations: list[Violation] = field(default_factory=list)
+    states_explored: int = 0
+    truncated: bool = False
+
+
+def _canon(state: State) -> tuple[tuple[str, Hashable], ...]:
+    return tuple(sorted(state.items()))
+
+
+class Model:
+    """A named protocol model: processes + shared variables + properties."""
+
+    def __init__(self, name: str, *,
+                 processes: Mapping[str, str],
+                 final: Mapping[str, Iterable[str]],
+                 shared: Mapping[str, Hashable],
+                 transitions: Iterable[Transition],
+                 invariants: Iterable[Invariant] = (),
+                 obligations: Iterable[Obligation] = (),
+                 stuck_kinds: Mapping[str, str] | None = None) -> None:
+        self.name = name
+        self.processes = dict(processes)
+        self.final = {p: frozenset(locs) for p, locs in final.items()}
+        self.shared = dict(shared)
+        self.transitions = list(transitions)
+        self.invariants = list(invariants)
+        self.obligations = list(obligations)
+        #: ``{process: violation-kind}`` -- when the model wedges with
+        #: this process outside a final location, report that kind
+        #: instead of the generic deadlock (e.g. a client stuck in
+        #: ``waiting`` is a *lost future*, not a mutual deadlock).
+        self.stuck_kinds = dict(stuck_kinds or {})
+        overlap = set(self.processes) & set(self.shared)
+        if overlap:
+            raise ValueError(f"process/shared name clash: {sorted(overlap)}")
+        for t in self.transitions:
+            if t.process not in self.processes:
+                raise ValueError(f"transition {t.label!r} names unknown "
+                                 f"process {t.process!r}")
+
+    # -- exploration -----------------------------------------------------
+    def initial_state(self) -> State:
+        state: State = dict(self.processes)
+        state.update(self.shared)
+        return state
+
+    def explore(self, max_depth: int = 40,
+                max_states: int = 200_000) -> ExploreResult:
+        """BFS over every interleaving up to ``max_depth`` steps.
+
+        Returns all distinct violations (deduplicated by ``(kind, name,
+        state)`` keeping the shortest trace -- BFS order guarantees the
+        first trace seen *is* shortest).
+        """
+        result = ExploreResult()
+        root = self.initial_state()
+        seen: set[tuple[tuple[str, Hashable], ...]] = {_canon(root)}
+        queue: deque[tuple[State, tuple[str, ...]]] = deque([(root, ())])
+        reported: set[tuple[str, str, tuple[tuple[str, Hashable], ...]]] = set()
+
+        def report(kind: str, name: str, trace: tuple[str, ...],
+                   state: State) -> None:
+            key = (kind, name, _canon(state))
+            if key in reported:
+                return
+            reported.add(key)
+            result.violations.append(
+                Violation(kind=kind, name=name, trace=trace,
+                          state=_canon(state)))
+
+        while queue:
+            state, trace = queue.popleft()
+            result.states_explored += 1
+            for inv in self.invariants:
+                if not inv.check(state):
+                    report(INVARIANT, inv.name, trace, state)
+            enabled = [t for t in self.transitions if t.enabled(state)]
+            if not enabled:
+                self._check_terminal(state, trace, report)
+                continue
+            if len(trace) >= max_depth:
+                result.truncated = True
+                continue
+            for t in enabled:
+                nxt = dict(state)
+                nxt[t.process] = t.target
+                if t.update is not None:
+                    t.update(nxt)
+                key = _canon(nxt)
+                if key in seen:
+                    continue
+                seen.add(key)
+                if len(seen) > max_states:
+                    result.truncated = True
+                    return result
+                queue.append((nxt, trace + (t.event(),)))
+        return result
+
+    def _check_terminal(self, state: State, trace: tuple[str, ...],
+                        report: Callable[..., None]) -> None:
+        stuck = [p for p in self.processes
+                 if state[p] not in self.final.get(p, frozenset())]
+        if stuck:
+            # Prefer the most specific classification: a process with a
+            # registered stuck-kind names the property that failed.
+            for p in sorted(stuck):
+                kind = self.stuck_kinds.get(p, DEADLOCK)
+                report(kind, f"{p}@{state[p]}", trace, state)
+            return
+        for ob in self.obligations:
+            if not ob.check(state):
+                report(OBLIGATION, ob.name, trace, state)
+
+    # -- trace conformance ----------------------------------------------
+    def accepts(self, events: Iterable[str]) -> bool:
+        """Can the model produce ``events`` as its observable trace?
+
+        Events are bare transition *labels*: a recorded implementation
+        event matches any process's transition with that label (which
+        symbolic client played the role is the NFA's nondeterminism to
+        resolve).  Internal transitions are epsilon moves: the closure
+        runs them silently between observable events.  Used by
+        conformance tests to assert that a recorded implementation trace
+        is a behaviour of the model.
+        """
+        frontier = {_canon(self.initial_state())}
+        states = {next(iter(frontier)): self.initial_state()}
+
+        def closure(frontier: set, states: dict) -> tuple[set, dict]:
+            work = deque(frontier)
+            while work:
+                key = work.popleft()
+                state = states[key]
+                for t in self.transitions:
+                    if not t.internal or not t.enabled(state):
+                        continue
+                    nxt = dict(state)
+                    nxt[t.process] = t.target
+                    if t.update is not None:
+                        t.update(nxt)
+                    nkey = _canon(nxt)
+                    if nkey not in frontier:
+                        frontier.add(nkey)
+                        states[nkey] = nxt
+                        work.append(nkey)
+            return frontier, states
+
+        frontier, states = closure(frontier, states)
+        for event in events:
+            nxt_frontier: set = set()
+            nxt_states: dict = {}
+            for key in frontier:
+                state = states[key]
+                for t in self.transitions:
+                    if t.internal or t.label != event:
+                        continue
+                    if not t.enabled(state):
+                        continue
+                    nxt = dict(state)
+                    nxt[t.process] = t.target
+                    if t.update is not None:
+                        t.update(nxt)
+                    nkey = _canon(nxt)
+                    if nkey not in nxt_frontier:
+                        nxt_frontier.add(nkey)
+                        nxt_states[nkey] = nxt
+            if not nxt_frontier:
+                return False
+            frontier, states = closure(nxt_frontier, nxt_states)
+        return True

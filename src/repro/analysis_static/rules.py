@@ -135,6 +135,16 @@ RULES: dict[str, Rule] = {r.id: r for r in (
               "np.random.Generator built from a seed through instead"),
         invert_roles=True,
     ),
+    Rule(
+        id="REP008",
+        title="unbounded blocking call in service code",
+        roles=frozenset({"service"}),
+        hint=("a Queue.get()/Event.wait()/Thread.join() with no timeout "
+              "can park a serving thread forever when its peer dies; the "
+              "protocol models (docs/ANALYSIS.md section 5) assume every "
+              "wait is bounded -- pass timeout=... (hoist the constant "
+              "into ServeConfig) and handle the timeout path"),
+    ),
 )}
 
 

@@ -1,10 +1,14 @@
 """repro-verify: whole-program static verification (see docs/ANALYSIS.md).
 
-Three analyses over one shared program model:
+Five analyses over one shared program model:
 
 * :mod:`.effects`     -- interprocedural effect inference (RV101/RV102)
 * :mod:`.typestate`   -- shared-memory segment protocol (RV201..RV206)
 * :mod:`.collectives` -- static collective-matching (RV301/RV302)
+* :mod:`repro.analysis_static.model.checks`   -- protocol model
+  checking with counterexample interleavings (RV401..RV405)
+* :mod:`repro.analysis_static.model.disjoint` -- symbolic
+  slice-disjointness proofs (RV501..RV503)
 
 plus :mod:`.annotations` (the runtime ``@declares_effects`` decorator)
 and :mod:`.report` (catalogue, suppressions, renderers).
@@ -28,6 +32,7 @@ from .collectives import CollectiveChecker
 from .effects import EffectAnalysis
 from .program import Program
 from .report import (
+    CHECK_FAMILIES,
     CHECKS,
     CheckContext,
     VerifyFinding,
@@ -41,6 +46,7 @@ from .typestate import TypestateChecker
 
 __all__ = [
     "CHECKS",
+    "CHECK_FAMILIES",
     "COLLECTIVE_KINDS",
     "EFFECT_NAMES",
     "EffectAnalysis",
@@ -83,6 +89,15 @@ def run_verify(
     effects.run_checks(ctx)
     TypestateChecker(program).run_checks(ctx)
     CollectiveChecker(program, effects).run_checks(ctx)
+    # Imported lazily: the model package both *analyses* this package's
+    # program model and *provides* the runtime @protocol_event decorator
+    # that analysed modules import -- a top-level import here would close
+    # that cycle during package init.
+    from ..model.checks import ModelChecker
+    from ..model.disjoint import DisjointProver
+
+    ModelChecker(program).run_checks(ctx)
+    DisjointProver(program).run_checks(ctx)
 
     for mod in program.modules.values():
         covers, bad = parse_allows(mod.lines)

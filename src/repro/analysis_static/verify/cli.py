@@ -13,7 +13,8 @@ from pathlib import Path
 
 from ..baseline import BaselineError, load_baseline, write_baseline
 from . import run_verify
-from .report import CHECKS, render_json, render_sarif, render_text
+from .report import (CHECK_FAMILIES, CHECKS, render_json, render_sarif,
+                     render_text)
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -21,13 +22,18 @@ def _build_parser() -> argparse.ArgumentParser:
         prog="python -m repro.verify",
         description=(
             "repro-verify: whole-program effect inference, shared-memory "
-            "typestate and static collective-matching (RV001..RV302)."))
+            "typestate, static collective-matching, protocol model "
+            "checking and slice-disjointness proofs (RV001..RV503)."))
     parser.add_argument("paths", nargs="*", default=["src"],
                         help="files or directories to verify (default: src)")
     parser.add_argument("--format", choices=("text", "json", "sarif"),
                         default="text", help="output format")
-    parser.add_argument("--checks", default=None, metavar="RVxxx[,RVxxx]",
-                        help="run only the named checks (RV001 always runs)")
+    parser.add_argument("--checks", "--check", default=None,
+                        metavar="RVxxx[,family]", dest="checks",
+                        help="run only the named checks; entries may be "
+                             "check ids (RV401) or families "
+                             f"({', '.join(sorted(CHECK_FAMILIES))}); "
+                             "RV001 always runs")
     parser.add_argument("--list-checks", action="store_true",
                         help="print the check catalogue and exit")
     parser.add_argument("--baseline", default=None, metavar="FILE",
@@ -52,7 +58,18 @@ def main(argv: list[str] | None = None) -> int:
 
     only: list[str] | None = None
     if args.checks:
-        only = [c.strip().upper() for c in args.checks.split(",") if c.strip()]
+        only = []
+        for raw in args.checks.split(","):
+            name = raw.strip()
+            if not name:
+                continue
+            # A family name (model, disjoint, shm, ...) expands to its
+            # member checks; anything else must be a check id.
+            family = CHECK_FAMILIES.get(name.lower())
+            if family is not None:
+                only.extend(family)
+            else:
+                only.append(name.upper())
         unknown = set(only) - set(CHECKS)
         if unknown:
             print(f"unknown check(s): {', '.join(sorted(unknown))}",
@@ -81,12 +98,24 @@ def main(argv: list[str] | None = None) -> int:
             print(str(err), file=sys.stderr)
             return 2
         kept = []
+        matched: set[str] = set()
         for f in findings:
             if not f.suppressed and f.fingerprint() in known:
                 baselined += 1
+                matched.add(f.fingerprint())
                 continue
             kept.append(f)
         findings = kept
+        # Stale entries are a warning, never an error: the ratchet only
+        # tightens when someone re-writes the baseline.
+        stale = sorted(known - matched)
+        if stale:
+            print(f"repro-verify: warning: {len(stale)} baseline "
+                  "fingerprint(s) match no current finding (stale; "
+                  "re-run with --write-baseline to tighten):",
+                  file=sys.stderr)
+            for fp in stale:
+                print(f"  {fp}", file=sys.stderr)
 
     active = [f for f in findings if not f.suppressed]
     if args.format == "json":

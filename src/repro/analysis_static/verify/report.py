@@ -107,7 +107,74 @@ CHECKS: dict[str, Check] = {
             "loop bounds that differ per rank desynchronise the collective "
             "schedule; iterate a rank-invariant bound",
         ),
+        Check(
+            "RV401",
+            "model-deadlock",
+            "protocol model reaches a state with no enabled transition",
+            "the finding's message carries the counterexample interleaving; "
+            "replay it against the model in repro.analysis_static.model",
+        ),
+        Check(
+            "RV402",
+            "model-lost-future",
+            "an admitted request can end unresolved and unrejected",
+            "every path that removes a request from the queue must resolve "
+            "or reject its future -- including worker-death paths",
+        ),
+        Check(
+            "RV403",
+            "model-bound",
+            "a protocol invariant (e.g. the admission bound) is violated",
+            "queue occupancy must never exceed queue_capacity; re-check the "
+            "capacity guard in submit()",
+        ),
+        Check(
+            "RV404",
+            "model-shm-lifecycle",
+            "a shm segment path skips close-before-unlink or re-unlinks",
+            "every published segment must be closed by its owner before the "
+            "single unlink, on every path including crash paths",
+        ),
+        Check(
+            "RV405",
+            "model-conformance",
+            "implementation drifted from its protocol model",
+            "restore the code fact / @protocol_event annotation the model "
+            "is anchored to, or update the model in "
+            "repro.analysis_static.model.protocols",
+        ),
+        Check(
+            "RV501",
+            "slice-chain-unproven",
+            "slice row bounds are not provably a disjoint exact cover",
+            "segment_by_weight/segment_range/slice_bounds must keep the "
+            "chained-fold shape (start=0; append (start, end); start=end; "
+            "final cut forced to n)",
+        ),
+        Check(
+            "RV502",
+            "slice-span-mismatch",
+            "flat write spans are not the chain image of one offset array",
+            "slice bounds must be [int(A[lo]), int(A[hi])) of a single "
+            "monotone offset array with no arithmetic on the endpoints",
+        ),
+        Check(
+            "RV503",
+            "slice-axiom-missing",
+            "the monotone-CSR axiom is no longer runtime-checked",
+            "InteractionPlan.validate() must reject np.diff(start) < 0 and "
+            "start[0] != 0 -- the precondition of the span-image proof",
+        ),
     )
+}
+
+#: ``--check`` family groups: a family name expands to its member checks.
+CHECK_FAMILIES: dict[str, tuple[str, ...]] = {
+    "effects": ("RV101", "RV102"),
+    "shm": ("RV201", "RV202", "RV203", "RV204", "RV205", "RV206"),
+    "collectives": ("RV301", "RV302"),
+    "model": ("RV401", "RV402", "RV403", "RV404", "RV405"),
+    "disjoint": ("RV501", "RV502", "RV503"),
 }
 
 _SLUG_TO_ID = {c.slug: c.id for c in CHECKS.values()}

@@ -33,6 +33,7 @@ import weakref
 from queue import Empty
 from typing import Any, Callable
 
+from ...analysis_static.model.annotations import protocol_event
 from .runner import START_METHOD_ENV
 
 #: Seconds the parent waits in :meth:`PersistentWorkerPool.next_result`
@@ -106,6 +107,7 @@ class PersistentWorkerPool:
                                            list(self._procs))
 
     # -- submission ----------------------------------------------------
+    @protocol_event("pool", "submit")
     def submit(self, task: Any) -> None:
         """Enqueue one picklable task for whichever worker is free next."""
         if self._closed:
@@ -120,6 +122,7 @@ class PersistentWorkerPool:
             self.submit(task)
 
     # -- collection ----------------------------------------------------
+    @protocol_event("pool", "next_result")
     def next_result(self, *,
                     timeout: float = DEFAULT_RESULT_TIMEOUT) -> Any:
         """Dequeue one worker result, polling for worker death.
@@ -148,6 +151,7 @@ class PersistentWorkerPool:
         """Number of workers currently running."""
         return sum(1 for p in self._procs if p.is_alive())
 
+    @protocol_event("pool", "respawn")
     def respawn(self) -> int:
         """Replace every exited worker with a fresh process at the same
         rank; returns how many were replaced.
@@ -185,6 +189,7 @@ class PersistentWorkerPool:
     def closed(self) -> bool:
         return self._closed
 
+    @protocol_event("pool", "shutdown")
     def shutdown(self, *, timeout: float = 10.0) -> None:
         """Stop every worker and reap the queues.  Idempotent."""
         if self._closed:

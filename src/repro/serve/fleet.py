@@ -400,7 +400,10 @@ def _serve_worker_loop(rank: int, tasks: Any, results: Any) -> None:
     cache: dict[str, _WorkerState] = {}
     crash_armed = False
     while True:
-        task = tasks.get()
+        # A worker waiting for its next task has no liveness obligation:
+        # the parent's shutdown sentinel is the wakeup, and a dead parent
+        # takes the worker with it (daemon process).
+        task = tasks.get()  # repro-lint: disable=REP008 -- sentinel-bounded
         if task is None:
             # Drop every cached view before exiting so the mappings close
             # cleanly (no BufferError noise at interpreter shutdown).

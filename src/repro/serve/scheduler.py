@@ -38,6 +38,7 @@ import threading
 from collections import deque
 from dataclasses import dataclass, field
 
+from ..analysis_static.model.annotations import protocol_event
 from ..core.params import ApproximationParams
 from ..molecule.molecule import Molecule
 from .client import ServeFuture
@@ -78,6 +79,11 @@ class ServeConfig:
     #: raises the effective threshold by this fraction of the base (a
     #: deep queue already saturates the fleet across requests).
     slice_queue_scale: float = 0.0
+    #: Seconds a client should wait on ``ServeFuture.result`` before
+    #: giving up; the liveness bound the protocol model assumes.
+    result_timeout_seconds: float = 60.0
+    #: Seconds ``stop`` waits for the scheduler thread to drain and exit.
+    stop_join_seconds: float = 60.0
 
     def __post_init__(self) -> None:
         if self.max_batch < 1:
@@ -90,6 +96,10 @@ class ServeConfig:
             raise ValueError("slice_threshold must be > 0 (or None)")
         if self.slice_queue_scale < 0:
             raise ValueError("slice_queue_scale must be >= 0")
+        if self.result_timeout_seconds <= 0:
+            raise ValueError("result_timeout_seconds must be > 0")
+        if self.stop_join_seconds <= 0:
+            raise ValueError("stop_join_seconds must be > 0")
 
 
 @dataclass
@@ -110,7 +120,7 @@ class EpolServer:
         server.start()
         key = server.register(molecule)
         future = server.submit(key)
-        energy = future.result(timeout=60.0)
+        energy = future.result(timeout=server.config.result_timeout_seconds)
         server.stop()
     """
 
@@ -149,6 +159,7 @@ class EpolServer:
         self._thread.start()
         return self
 
+    @protocol_event("scheduler", "stop")
     def stop(self, *, drain: bool = True) -> None:
         """Stop serving.  Idempotent.
 
@@ -164,7 +175,7 @@ class EpolServer:
                     self.metrics.record_done(0.0, ok=False)
             self._wakeup.notify_all()
         if self._thread is not None:
-            self._thread.join(timeout=60.0)
+            self._thread.join(timeout=self.config.stop_join_seconds)
             self._thread = None
         self._running = False
         self.fleet.shutdown()
@@ -181,6 +192,7 @@ class EpolServer:
         """Idempotently register a molecule; returns its content key."""
         return self.registry.register(molecule, params)
 
+    @protocol_event("scheduler", "admit")
     def submit(self, key: str, *, eps_born: float | None = None,
                eps_epol: float | None = None) -> ServeFuture:
         """Admit one request for registered molecule ``key``.
@@ -237,6 +249,7 @@ class EpolServer:
                 return
             self._execute(batch)
 
+    @protocol_event("scheduler", "dispatch")
     def _execute(self, batch: list[_Request]) -> None:
         # Group requests sharing a (molecule, eps) configuration, in
         # first-seen order (deterministic given the batch content).

@@ -1,0 +1,215 @@
+"""Unit tests for the bounded explicit-state model checker.
+
+The checker itself is infrastructure for the protocol conformance suite
+(``test_model_protocols.py``); these tests pin its semantics on small
+hand-built models: exhaustive interleaving exploration, deadlock /
+invariant / obligation classification, stuck-kind overrides, shortest
+counterexample traces, NFA trace acceptance with epsilon closure, and
+byte-for-byte deterministic output.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis_static.model.machine import (DEADLOCK, INVARIANT,
+                                                 OBLIGATION, Invariant,
+                                                 Model, Obligation,
+                                                 Transition)
+
+
+def _handshake(lose_signal: bool = False) -> Model:
+    """Producer sets a flag, consumer waits on it (the ServeFuture shape
+    in miniature).  ``lose_signal=True`` drops the flag write."""
+    return Model(
+        "handshake",
+        processes={"prod": "idle", "cons": "waiting"},
+        final={"prod": ("done",), "cons": ("woke",)},
+        shared={"flag": False},
+        transitions=[
+            Transition("prod", "set", "idle", "done",
+                       update=lambda s: s.__setitem__(
+                           "flag", not lose_signal)),
+            Transition("cons", "wake", "waiting", "woke",
+                       guard=lambda s: bool(s["flag"])),
+        ],
+    )
+
+
+class TestExplore:
+    def test_clean_model_has_no_violations(self):
+        result = _handshake().explore()
+        assert result.violations == []
+        assert not result.truncated
+        assert result.states_explored == 3  # initial, set, wake
+
+    def test_deadlock_reported_with_trace(self):
+        result = _handshake(lose_signal=True).explore()
+        kinds = {(v.kind, v.name) for v in result.violations}
+        assert kinds == {(DEADLOCK, "cons@waiting")}
+        (v,) = result.violations
+        assert v.render_trace() == "prod:set"
+
+    def test_stuck_kind_overrides_deadlock(self):
+        m = _handshake(lose_signal=True)
+        m.stuck_kinds = {"cons": "lost-future"}
+        result = m.explore()
+        assert {v.kind for v in result.violations} == {"lost-future"}
+
+    def test_invariant_checked_in_every_state(self):
+        m = Model(
+            "counter",
+            processes={"p": "a"},
+            final={"p": ("c",)},
+            shared={"x": 0},
+            transitions=[
+                Transition("p", "inc", "a", "b",
+                           update=lambda s: s.__setitem__("x", 1)),
+                Transition("p", "inc", "b", "c",
+                           update=lambda s: s.__setitem__("x", 2)),
+            ],
+            invariants=[Invariant("x-bound", lambda s: s["x"] <= 1)],
+        )
+        result = m.explore()
+        assert [(v.kind, v.name) for v in result.violations] == [
+            (INVARIANT, "x-bound")]
+        (v,) = result.violations
+        assert v.render_trace() == "p:inc -> p:inc"
+
+    def test_obligation_checked_only_at_terminal_states(self):
+        m = Model(
+            "obl",
+            processes={"p": "a"},
+            final={"p": ("b",)},
+            shared={"paid": False},
+            transitions=[Transition("p", "go", "a", "b")],
+            obligations=[Obligation("paid", lambda s: bool(s["paid"]))],
+        )
+        result = m.explore()
+        assert [(v.kind, v.name) for v in result.violations] == [
+            (OBLIGATION, "paid")]
+
+    def test_initial_state_deadlock_renders_placeholder(self):
+        m = Model("stuckbirth", processes={"p": "a"}, final={"p": ("b",)},
+                  shared={}, transitions=[])
+        (v,) = m.explore().violations
+        assert v.render_trace() == "<initial state>"
+
+    def test_depth_bound_truncates_unbounded_models(self):
+        m = Model(
+            "infinite",
+            processes={"p": "a"},
+            final={"p": ()},
+            shared={"n": 0},
+            transitions=[Transition(
+                "p", "tick", "a", "a",
+                update=lambda s: s.__setitem__("n", s["n"] + 1))],
+        )
+        result = m.explore(max_depth=5)
+        assert result.truncated
+        assert result.violations == []  # truncation is not a violation
+
+    def test_interleavings_are_exhaustive(self):
+        # Two independent steppers: 2x2 grid of locations, all reachable.
+        m = Model(
+            "grid",
+            processes={"p": "a", "q": "a"},
+            final={"p": ("b",), "q": ("b",)},
+            shared={},
+            transitions=[Transition("p", "step", "a", "b"),
+                         Transition("q", "step", "a", "b")],
+        )
+        result = m.explore()
+        assert result.states_explored == 4
+        assert result.violations == []
+
+
+class TestDeterminism:
+    def test_two_explores_byte_identical(self):
+        a = _handshake(lose_signal=True).explore()
+        b = _handshake(lose_signal=True).explore()
+        assert repr(a.violations) == repr(b.violations)
+        assert a.states_explored == b.states_explored
+
+    def test_shortest_counterexample_wins(self):
+        # Two routes to the same bad state; BFS must report the 1-step one.
+        m = Model(
+            "short",
+            processes={"p": "a"},
+            final={"p": ()},
+            shared={"bad": False},
+            transitions=[
+                Transition("p", "fast", "a", "z",
+                           update=lambda s: s.__setitem__("bad", True)),
+                Transition("p", "slow", "a", "mid"),
+                Transition("p", "slow2", "mid", "z2",
+                           update=lambda s: s.__setitem__("bad", True)),
+            ],
+            invariants=[Invariant("never-bad", lambda s: not s["bad"])],
+        )
+        traces = sorted(v.render_trace() for v in m.explore().violations)
+        assert traces[0] == "p:fast"
+        assert all(len(t.split(" -> ")) <= 2 for t in traces)
+
+
+class TestAccepts:
+    def test_accepts_observable_trace(self):
+        m = _handshake()
+        assert m.accepts(["set", "wake"])
+
+    def test_rejects_out_of_order_trace(self):
+        m = _handshake()
+        assert not m.accepts(["wake"])
+        assert not m.accepts(["set", "set"])
+
+    def test_internal_transitions_are_epsilon_moves(self):
+        m = Model(
+            "eps",
+            processes={"p": "a", "q": "a"},
+            final={"p": ("c",), "q": ("b",)},
+            shared={"ready": False},
+            transitions=[
+                Transition("p", "prep", "a", "b", internal=True,
+                           update=lambda s: s.__setitem__("ready", True)),
+                Transition("p", "fire", "b", "c"),
+                Transition("q", "watch", "a", "b",
+                           guard=lambda s: bool(s["ready"])),
+            ],
+        )
+        # 'prep' never appears in observable traces but enables both.
+        assert m.accepts(["fire"])
+        assert m.accepts(["watch", "fire"])
+        assert not m.accepts(["prep"])
+
+    def test_label_matches_any_process(self):
+        # Symbolic-role nondeterminism: either client may 'go' first.
+        m = Model(
+            "roles",
+            processes={"c1": "a", "c2": "a"},
+            final={"c1": ("b",), "c2": ("b",)},
+            shared={},
+            transitions=[Transition("c1", "go", "a", "b"),
+                         Transition("c2", "go", "a", "b")],
+        )
+        assert m.accepts(["go", "go"])
+        assert not m.accepts(["go", "go", "go"])
+
+    def test_empty_trace_always_accepted(self):
+        assert _handshake().accepts([])
+
+
+class TestValidation:
+    def test_process_shared_name_clash_rejected(self):
+        with pytest.raises(ValueError, match="name clash"):
+            Model("clash", processes={"x": "a"}, final={"x": ("a",)},
+                  shared={"x": 0}, transitions=[])
+
+    def test_unknown_transition_process_rejected(self):
+        with pytest.raises(ValueError, match="unknown"):
+            Model("ghost", processes={"p": "a"}, final={"p": ("a",)},
+                  shared={}, transitions=[Transition("q", "go", "a", "b")])
+
+    def test_transition_detail_shapes_event_text(self):
+        t = Transition("p", "admit", "a", "b", detail="backpressure")
+        assert t.event() == "p:admit(backpressure)"
+        assert Transition("p", "admit", "a", "b").event() == "p:admit"

@@ -30,6 +30,7 @@ EXPECTED = {
     "REP005": FIXTURES / "bad_rep005.py",
     "REP006": FIXTURES / "bad_rep006.py",
     "REP007": FIXTURES / "bad_rep007.py",
+    "REP008": FIXTURES / "bad_service_block.py",
 }
 
 
@@ -41,9 +42,9 @@ def run_cli(*args: str) -> subprocess.CompletedProcess:
 
 
 class TestRuleCatalogue:
-    def test_seven_rules_shipped(self):
+    def test_eight_rules_shipped(self):
         assert sorted(RULES) == ["REP001", "REP002", "REP003", "REP004",
-                                 "REP005", "REP006", "REP007"]
+                                 "REP005", "REP006", "REP007", "REP008"]
 
     def test_every_rule_has_a_hint(self):
         for rule in RULES.values():
