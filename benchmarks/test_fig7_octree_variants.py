@@ -8,3 +8,11 @@ def test_fig7_octree_variants(benchmark, results_dir):
     # Suite spans the paper's full size range incl. both anchors.
     sizes = [row[1] for row in result.rows]
     assert min(sizes) == 400 and max(sizes) == 16301
+
+
+def test_fig7t_tree_addressing_variants(benchmark, results_dir):
+    result = run_and_record(benchmark, results_dir, "fig7t")
+    # Every molecule appears under all four addressing variants.
+    variants = {row[2] for row in result.rows}
+    assert variants == {"morton", "morton+compressed",
+                        "hilbert", "hilbert+compressed"}

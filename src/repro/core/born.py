@@ -24,6 +24,7 @@ import numpy as np
 from ..molecule.molecule import Molecule
 from ..octree.aggregate import pseudo_normals
 from ..octree.build import build_octree
+from ..octree.compress import compress as compress_octree
 from ..octree.mac import born_mac_multiplier
 from ..octree.octree import Octree
 from ..octree.traversal import classify_against_ball
@@ -41,8 +42,12 @@ class AtomTreeData:
     sorted_charges: np.ndarray
 
     @classmethod
-    def build(cls, molecule: Molecule, *, leaf_cap: int) -> "AtomTreeData":
-        tree = build_octree(molecule.positions, leaf_cap=leaf_cap)
+    def build(cls, molecule: Molecule, *, leaf_cap: int,
+              sfc: str = "morton",
+              compress: bool = False) -> "AtomTreeData":
+        tree = build_octree(molecule.positions, leaf_cap=leaf_cap, sfc=sfc)
+        if compress:
+            tree = compress_octree(tree)
         return cls(tree=tree,
                    sorted_radii=molecule.radii[tree.perm],
                    sorted_charges=molecule.charges[tree.perm])
@@ -66,8 +71,12 @@ class QuadTreeData:
     node_pseudo_normals: np.ndarray
 
     @classmethod
-    def build(cls, surface: SurfaceQuadrature, *, leaf_cap: int) -> "QuadTreeData":
-        tree = build_octree(surface.points, leaf_cap=leaf_cap)
+    def build(cls, surface: SurfaceQuadrature, *, leaf_cap: int,
+              sfc: str = "morton",
+              compress: bool = False) -> "QuadTreeData":
+        tree = build_octree(surface.points, leaf_cap=leaf_cap, sfc=sfc)
+        if compress:
+            tree = compress_octree(tree)
         return cls(
             tree=tree,
             sorted_points=tree.sorted_points,
@@ -244,7 +253,8 @@ def push_integrals_to_atoms(atoms: AtomTreeData, partial: BornPartial, *,
         acc[level_nodes] += acc[tree.parent[level_nodes]]
     leaves = tree.leaves
     leaf_counts = tree.point_end[leaves] - tree.point_start[leaves]
-    # Leaves tile the sorted positions [0, N) in order.
+    # Canonical (curve-ordered) leaves tile the sorted positions [0, N)
+    # in order -- guaranteed by Octree.leaves and asserted by validate().
     per_position = np.repeat(acc[leaves], leaf_counts)
     total = partial.s_atom + per_position
     radii = born_radius_from_integral(total, atoms.sorted_radii, power=power,

@@ -121,15 +121,20 @@ class PolarizationEnergyCalculator:
     def atom_tree(self) -> AtomTreeData:
         """Build (or return the cached) atoms octree bundle."""
         if self._atoms is None:
-            self._atoms = AtomTreeData.build(self.molecule,
-                                             leaf_cap=self.params.leaf_cap)
+            self._atoms = AtomTreeData.build(
+                self.molecule, leaf_cap=self.params.leaf_cap,
+                sfc=self.params.tree_sfc,
+                compress=self.params.tree_compress)
         return self._atoms
 
     def quad_tree(self) -> QuadTreeData:
         """Build (or return the cached) quadrature-points octree bundle."""
         if self._quad is None:
-            self._quad = QuadTreeData.build(self.prepare_surface(),
-                                            leaf_cap=self.params.quad_leaf_cap)
+            self._quad = QuadTreeData.build(
+                self.prepare_surface(),
+                leaf_cap=self.params.quad_leaf_cap,
+                sfc=self.params.tree_sfc,
+                compress=self.params.tree_compress)
         return self._quad
 
     # ------------------------------------------------------------------
@@ -152,7 +157,8 @@ class PolarizationEnergyCalculator:
         from ..plan.cache import born_key
         eps = self.params.eps_born if eps is None else float(eps)
         variant = self.params.born_mac_variant
-        key = born_key(eps, mac_variant=variant, disable_far=disable_far)
+        key = born_key(eps, mac_variant=variant, disable_far=disable_far,
+                       tree_variant=self.params.tree_variant)
         return self.plan_cache().get_or_build(
             key, lambda: build_born_plan(self.atom_tree(), self.quad_tree(),
                                          eps, disable_far=disable_far,
@@ -169,7 +175,8 @@ class PolarizationEnergyCalculator:
         from ..plan import build_epol_plan
         from ..plan.cache import epol_key
         eps = self.params.eps_epol if eps is None else float(eps)
-        key = epol_key(eps, disable_far=disable_far)
+        key = epol_key(eps, disable_far=disable_far,
+                       tree_variant=self.params.tree_variant)
         return self.plan_cache().get_or_build(
             key, lambda: build_epol_plan(self.atom_tree(), eps,
                                          disable_far=disable_far,

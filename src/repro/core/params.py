@@ -48,6 +48,15 @@ class ApproximationParams:
         actual NumPy numerics are unchanged (NumPy has no fast-approx
         mode); the flag only drives the cost/error accounting, and that
         substitution is documented in DESIGN.md.
+    tree_sfc / tree_compress:
+        The octree variant: which space-filling curve orders children at
+        every split (``"morton"`` -- the default, bit-identical to the
+        seed -- or ``"hilbert"``), and whether single-child chains are
+        collapsed (:func:`repro.octree.compress.compress`).  The variant
+        changes leaf/plan-row *order*, never the leaf contents or MAC
+        decisions, so energies across variants agree to addition
+        reordering; within one variant every execution substrate is
+        bit-identical (docs/ALGORITHMS.md).
     """
 
     eps_born: float = DEFAULT_EPS_BORN
@@ -65,10 +74,16 @@ class ApproximationParams:
     #: measured speed and accuracy) or "theory" (kappa = (1+eps)^(1/6),
     #: the conservative Section II formula).  See repro.octree.mac.
     born_mac_variant: str = "practical"
+    #: Space-filling curve ordering octree children ("morton"|"hilbert").
+    tree_sfc: str = "morton"
+    #: Collapse single-child octree chains (CompressedOctree).
+    tree_compress: bool = False
 
     def __post_init__(self) -> None:
         if self.born_mac_variant not in ("practical", "theory"):
             raise ValueError("born_mac_variant must be 'practical' or 'theory'")
+        if self.tree_sfc not in ("morton", "hilbert"):
+            raise ValueError("tree_sfc must be 'morton' or 'hilbert'")
         if self.eps_born <= 0 or self.eps_epol <= 0:
             raise ValueError("approximation parameters must be positive")
         if self.leaf_cap < 1 or self.quad_leaf_cap < 1:
@@ -77,6 +92,13 @@ class ApproximationParams:
             raise ValueError("points_per_atom must be >= 4")
         if self.epsilon_solvent <= 1.0:
             raise ValueError("solvent dielectric must exceed 1")
+
+    @property
+    def tree_variant(self) -> str:
+        """The octree-variant fingerprint both trees are built with
+        (matches :attr:`repro.octree.octree.Octree.variant`); recorded in
+        plan metadata, plan-cache keys and serve content hashes."""
+        return self.tree_sfc + ("+compressed" if self.tree_compress else "")
 
     #: Speedup factor the paper measured for approximate math (Section V.E).
     APPROX_MATH_SPEEDUP: float = 1.42

@@ -74,7 +74,8 @@ _naive: dict[tuple[str, tuple], NaiveResult] = {}
 def _params_key(params: ApproximationParams) -> tuple:
     return (params.eps_born, params.eps_epol, params.leaf_cap,
             params.quad_leaf_cap, params.points_per_atom,
-            params.epsilon_solvent, params.born_mac_variant)
+            params.epsilon_solvent, params.born_mac_variant,
+            params.tree_variant)
 
 
 def calculator_for(molecule: Molecule,

@@ -9,15 +9,28 @@ regenerates:
 * OCT_MPI is significantly faster than OCT_CILK for larger molecules;
 * OCT_MPI is slightly faster than OCT_MPI+CILK below ~7,500 atoms, after
   which the two are similar.
+
+The companion sweep :func:`run_tree_variants` (id ``fig7t``) compares
+*octree addressing* variants -- {morton, hilbert} x {plain, compressed}
+-- on the quantities the addressing layer controls: key-order adjacency
+locality, key-range partition imbalance, and the simulated halo comm
+volume of the distributed-data layout.
 """
 
 from __future__ import annotations
 
+import numpy as np
+
 from ..config import DEFAULT_SEED
+from ..core.params import ApproximationParams
 from ..parallel.hybrid import ParallelRunConfig, run_variant
 from .common import ExperimentResult, calculator_for, suite_molecules
 
 VARIANTS = ("OCT_CILK", "OCT_MPI", "OCT_MPI+CILK")
+
+#: The octree addressing variants of the ``fig7t`` sweep.
+TREE_VARIANTS = (("morton", False), ("morton", True),
+                 ("hilbert", False), ("hilbert", True))
 
 #: Paper-reported behaviour boundaries (atoms).
 CILK_BEST_BELOW = 2500
@@ -60,6 +73,94 @@ def run(*, quick: bool = True, seed: int = DEFAULT_SEED) -> ExperimentResult:
               "(sorted by OCT_CILK time, approximate math on)",
         headers=["molecule", "atoms", "OCT_CILK (s)", "OCT_MPI (s)",
                  "OCT_MPI+CILK (s)", "best"],
+        rows=rows,
+        checks=checks,
+    )
+
+
+def _addressing_metrics(calc, nranks: int) -> dict:
+    """Adjacency locality, key-range imbalance and halo comm volume of
+    one calculator's tree variant."""
+    from ..octree.partition import (coarsen_keys, imbalance,
+                                    segment_by_key_range)
+    from ..parallel.datadist import analyze_distribution
+
+    plan = calc.epol_plan()
+    tree = calc.atom_tree().tree
+    weights = plan.row_pair_weights().astype(np.float64)
+    keys = tree.node_key[plan.target_leaves]
+    centers = tree.ball_center[plan.target_leaves]
+    dist = analyze_distribution(calc, nranks=nranks, scheme="key-range")
+    return {
+        "adjacency": float(np.linalg.norm(np.diff(centers, axis=0),
+                                          axis=1).mean()),
+        "imbalance": imbalance([weights[s:e].sum() for s, e in
+                                segment_by_key_range(
+                                    coarsen_keys(keys, nranks), nranks,
+                                    weights=weights)]),
+        "halo_bytes": dist.halo_traffic_bytes,
+        "halo_messages": dist.halo_messages,
+        "memory_reduction": dist.memory_reduction,
+    }
+
+
+def run_tree_variants(*, quick: bool = True,
+                      seed: int = DEFAULT_SEED,
+                      nranks: int = 8) -> ExperimentResult:
+    """The ``fig7t`` sweep: {morton, hilbert} x {plain, compressed}.
+
+    Reports the addressing-layer quantities per molecule and variant and
+    checks the layer's contracts: compression changes node ids but never
+    leaf rows (identical imbalance and comm volume), and the Hilbert
+    order is strictly more local than Morton's on every input.
+    """
+    from ..molecule.generators import icosahedral_shell
+
+    molecules = suite_molecules(quick=True, max_atoms=2500)[:2]
+    molecules.append(icosahedral_shell(1200, seed=seed))
+    if not quick:
+        molecules.extend(suite_molecules(quick=True, max_atoms=9000)[2:4])
+
+    rows = []
+    metrics: dict[tuple[str, str], dict] = {}
+    for molecule in molecules:
+        for sfc, compress in TREE_VARIANTS:
+            calc = calculator_for(molecule, ApproximationParams(
+                tree_sfc=sfc, tree_compress=compress))
+            m = _addressing_metrics(calc, nranks)
+            metrics[(molecule.name, calc.params.tree_variant)] = m
+            rows.append([molecule.name, len(molecule),
+                         calc.params.tree_variant,
+                         round(m["adjacency"], 3),
+                         round(m["imbalance"], 4),
+                         m["halo_bytes"],
+                         round(m["memory_reduction"], 3)])
+
+    names = [m.name for m in molecules]
+    checks = {
+        "hilbert_adjacency_beats_morton": all(
+            metrics[(n, "hilbert")]["adjacency"]
+            < metrics[(n, "morton")]["adjacency"] for n in names),
+        "compression_preserves_imbalance": all(
+            metrics[(n, s + "+compressed")]["imbalance"]
+            == metrics[(n, s)]["imbalance"]
+            for n in names for s in ("morton", "hilbert")),
+        "compression_preserves_comm_volume": all(
+            metrics[(n, s + "+compressed")]["halo_bytes"]
+            == metrics[(n, s)]["halo_bytes"]
+            and metrics[(n, s + "+compressed")]["halo_messages"]
+            == metrics[(n, s)]["halo_messages"]
+            for n in names for s in ("morton", "hilbert")),
+        "distribution_reduces_memory": all(
+            m["memory_reduction"] > 1.0 for m in metrics.values()),
+    }
+    return ExperimentResult(
+        experiment_id="fig7t",
+        title=f"Octree addressing variants: key-range partition at "
+              f"P={nranks} (adjacency = mean dist between key-adjacent "
+              f"leaf centres)",
+        headers=["molecule", "atoms", "variant", "adjacency (A)",
+                 "imbalance", "halo bytes", "mem reduction"],
         rows=rows,
         checks=checks,
     )

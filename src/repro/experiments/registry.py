@@ -16,6 +16,7 @@ EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
     "fig5": fig5_speedup.run,
     "fig6": fig6_scalability.run,
     "fig7": fig7_octree_variants.run,
+    "fig7t": fig7_octree_variants.run_tree_variants,
     "fig8": fig8_packages.run,
     "fig9": fig9_energy_values.run,
     "fig10": fig10_epsilon_sweep.run,

@@ -1,20 +1,23 @@
 """Work-division schemes of Section IV.A and their diagnostics."""
 
 from .analysis import DivisionComparison, compare_runs, energy_spread
-from .schemes import (ATOM_ATOM, NODE_NODE, NODE_PLAN, DivisionRun,
-                      division_error_stability, epol_atom_division,
+from .schemes import (ATOM_ATOM, KEY_RANGE, NODE_NODE, NODE_PLAN,
+                      DivisionRun, division_error_stability,
+                      epol_atom_division, epol_key_range_division,
                       epol_node_division, epol_plan_division)
 
 __all__ = [
     "ATOM_ATOM",
     "DivisionComparison",
     "DivisionRun",
+    "KEY_RANGE",
     "NODE_NODE",
     "NODE_PLAN",
     "compare_runs",
     "division_error_stability",
     "energy_spread",
     "epol_atom_division",
+    "epol_key_range_division",
     "epol_node_division",
     "epol_plan_division",
 ]

@@ -40,6 +40,9 @@ ATOM_ATOM = "atom-atom"
 #: Plan-driven variant of node-based division: same whole-leaf targets,
 #: but ranks cut cached interaction-plan rows by exact pair counts.
 NODE_PLAN = "node-plan"
+#: Key-interval variant of node-plan: the same weighted cuts, snapped to
+#: coarse SFC key blocks so each rank owns a contiguous curve-key range.
+KEY_RANGE = "key-range"
 
 
 @dataclass
@@ -100,6 +103,45 @@ def epol_plan_division(ctx: EnergyContext, nparts: int, eps: float,
         per_rank[rank] = partial.counters.exact_pairs
         counters.add(partial.counters)
     return DivisionRun(NODE_PLAN, nparts,
+                       epol_from_pair_sum(total, epsilon_solvent=epsilon_solvent),
+                       counters, per_rank)
+
+
+def epol_key_range_division(ctx: EnergyContext, nparts: int, eps: float,
+                            epsilon_solvent: float, *,
+                            plan=None) -> DivisionRun:
+    """Node-based division with contiguous *SFC key-interval* ownership.
+
+    Same whole-leaf plan rows as :func:`epol_plan_division` (so the MAC
+    decisions and the energy stay exactly ``P``-independent), but the
+    weighted cuts are snapped to coarse curve-key blocks
+    (:func:`repro.octree.partition.coarsen_keys` +
+    :func:`repro.octree.partition.segment_by_key_range`): every rank's
+    ownership is publishable as one key range.  The imbalance gap versus
+    :func:`epol_plan_division` is the price of that alignment --
+    ``benchmarks/test_sfc_partition.py`` measures it per SFC variant.
+    """
+    from ..octree.partition import coarsen_keys, segment_by_key_range
+    from ..plan import build_epol_plan, execute_epol_plan
+
+    if plan is None:
+        plan = build_epol_plan(ctx.atoms, eps)
+    tree = ctx.atoms.tree
+    if tree.node_key is None:
+        raise ValueError("key-range division needs a tree with SFC node "
+                         "keys (build_octree always sets them)")
+    keys = coarsen_keys(tree.node_key[plan.target_leaves], nparts)
+    bounds = segment_by_key_range(
+        keys, nparts, weights=plan.row_pair_weights(nbins=ctx.binning.nbins))
+    total = 0.0
+    counters = WorkCounters()
+    per_rank = np.zeros(nparts)
+    for rank, (lo, hi) in enumerate(bounds):
+        partial = execute_epol_plan(plan, ctx, row_range=(lo, hi))
+        total += partial.pair_sum
+        per_rank[rank] = partial.counters.exact_pairs
+        counters.add(partial.counters)
+    return DivisionRun(KEY_RANGE, nparts,
                        epol_from_pair_sum(total, epsilon_solvent=epsilon_solvent),
                        counters, per_rank)
 

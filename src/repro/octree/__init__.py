@@ -3,29 +3,42 @@
 from .aggregate import (node_charges, node_counts, node_histograms, node_sums,
                         pseudo_normals)
 from .build import build_octree
+from .compress import CompressedOctree, compress
 from .mac import (born_error_bound, born_mac_multiplier, epol_mac_multiplier,
                   is_far)
 from .morton import decode as morton_decode
 from .morton import encode as morton_encode
 from .morton import sort_order as morton_sort_order
 from .octree import Octree
-from .partition import (imbalance, segment_by_weight, segment_leaf_bounds,
-                        segment_leaves, segment_points, segment_range)
+from .partition import (imbalance, segment_by_key_range, segment_by_weight,
+                        segment_leaf_bounds, segment_leaves, segment_points,
+                        segment_range)
+from .sfc import (SFC_KEYS, HilbertKey, MortonKey, SFCKey, get_sfc,
+                  hilbert_decode, hilbert_encode)
 from .transform import transformed_octree
 from .traversal import (Classification, classify_against_ball,
                         classify_reference, dual_tree_pairs, expand_children)
 
 __all__ = [
     "Classification",
+    "CompressedOctree",
+    "HilbertKey",
+    "MortonKey",
     "Octree",
+    "SFCKey",
+    "SFC_KEYS",
     "born_error_bound",
     "born_mac_multiplier",
     "build_octree",
     "classify_against_ball",
     "classify_reference",
+    "compress",
     "dual_tree_pairs",
     "epol_mac_multiplier",
     "expand_children",
+    "get_sfc",
+    "hilbert_decode",
+    "hilbert_encode",
     "imbalance",
     "is_far",
     "morton_decode",
@@ -36,6 +49,7 @@ __all__ = [
     "node_histograms",
     "node_sums",
     "pseudo_normals",
+    "segment_by_key_range",
     "segment_by_weight",
     "segment_leaf_bounds",
     "segment_leaves",

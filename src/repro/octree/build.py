@@ -5,6 +5,15 @@ per-node work, maintaining a permutation so that every node owns a
 contiguous slice of the point array.  Construction is O(N log N) -- the
 pre-processing cost the paper's complexity analysis (Section IV.C) assigns
 to Step 1 and then amortises away across docking poses.
+
+Children are appended in *space-filling-curve order* (``sfc=``): Morton
+order is the seed behaviour (octant code order, bit for bit), Hilbert
+order visits octants along the Hilbert curve so that the leaf list -- and
+with it every plan row, partition segment and serve slice downstream --
+is contiguous in Hilbert key space.  Every node also carries its exact
+integer curve key (``Octree.node_key``), derived from lattice anchors
+with no float quantisation, so workers rebuilding the tree from shared
+coordinates get identical keys.
 """
 
 from __future__ import annotations
@@ -13,6 +22,7 @@ import numpy as np
 
 from ..config import DEFAULT_LEAF_CAP
 from .octree import Octree
+from .sfc import get_sfc, node_keys
 
 #: Cube half-sizes below this are never split further (protects against
 #: coincident points driving unbounded depth).
@@ -20,7 +30,8 @@ MIN_CUBE_HALF = 1e-8
 
 
 def build_octree(points: np.ndarray, *, leaf_cap: int = DEFAULT_LEAF_CAP,
-                 min_half: float = MIN_CUBE_HALF) -> Octree:
+                 min_half: float = MIN_CUBE_HALF,
+                 sfc: str = "morton") -> Octree:
     """Build an adaptive octree over ``points``.
 
     Parameters
@@ -32,12 +43,19 @@ def build_octree(points: np.ndarray, *, leaf_cap: int = DEFAULT_LEAF_CAP,
         may exceed it when points coincide).
     min_half:
         Minimum cube half-extent; smaller cubes are not subdivided.
+    sfc:
+        Space-filling curve ordering the children of every split
+        (``"morton"`` or ``"hilbert"``; see :mod:`repro.octree.sfc`).
+        ``"morton"`` reproduces the seed construction bit for bit.  The
+        curve never changes *which* nodes exist or which points share a
+        leaf -- only the order sibling subtrees (and the points under
+        them) are laid out in.
 
     Returns
     -------
     Octree
-        With per-node geometry, enclosing balls and contiguous point
-        slices.
+        With per-node geometry, enclosing balls, contiguous point slices
+        and exact integer curve keys (``node_key``).
     """
     pts = np.ascontiguousarray(points, dtype=np.float64)
     if pts.ndim != 2 or pts.shape[1] != 3:
@@ -47,6 +65,7 @@ def build_octree(points: np.ndarray, *, leaf_cap: int = DEFAULT_LEAF_CAP,
         raise ValueError("cannot build an octree over zero points")
     if leaf_cap < 1:
         raise ValueError("leaf_cap must be >= 1")
+    curve = get_sfc(sfc)
 
     lo = pts.min(axis=0)
     hi = pts.max(axis=0)
@@ -66,6 +85,8 @@ def build_octree(points: np.ndarray, *, leaf_cap: int = DEFAULT_LEAF_CAP,
     level: list[int] = [0]
     point_start: list[int] = [0]
     point_end: list[int] = [n]
+    #: Integer lattice anchor of each node's cube at its own level.
+    anchor: list[tuple[int, int, int]] = [(0, 0, 0)]
 
     # Child cube centre offsets indexed by octant code bit pattern
     # (bit0 -> +x, bit1 -> +y, bit2 -> +z).
@@ -73,6 +94,7 @@ def build_octree(points: np.ndarray, *, leaf_cap: int = DEFAULT_LEAF_CAP,
                              (1 if code & 2 else -1),
                              (1 if code & 4 else -1)] for code in range(8)],
                            dtype=np.float64)
+    morton_order = sfc == "morton"
 
     head = 0  # next unprocessed node id (the work queue is the node list)
     while head < len(cube_center):
@@ -95,7 +117,16 @@ def build_octree(points: np.ndarray, *, leaf_cap: int = DEFAULT_LEAF_CAP,
         codes = ((slice_pts[:, 0] > center[0]).astype(np.int8)
                  | ((slice_pts[:, 1] > center[1]).astype(np.int8) << 1)
                  | ((slice_pts[:, 2] > center[2]).astype(np.int8) << 2))
-        order = np.argsort(codes, kind="stable")
+        if morton_order:
+            # Seed path, byte for byte: octant code order == Morton order.
+            visit = range(8)
+            order = np.argsort(codes, kind="stable")
+        else:
+            corder = curve.child_order(anchor[v], level[v])
+            rank = np.empty(8, dtype=np.int8)
+            rank[corder] = np.arange(8, dtype=np.int8)
+            visit = [int(c) for c in corder]
+            order = np.argsort(rank[codes], kind="stable")
         perm[s:e] = perm[s:e][order]
         sorted_pts[s:e] = slice_pts[order]
         counts = np.bincount(codes, minlength=8)
@@ -104,7 +135,8 @@ def build_octree(points: np.ndarray, *, leaf_cap: int = DEFAULT_LEAF_CAP,
         offset = s
         nchildren = 0
         child_half = 0.5 * half
-        for code in range(8):
+        ax, ay, az = anchor[v]
+        for code in visit:
             c = int(counts[code])
             if c == 0:
                 continue
@@ -116,10 +148,13 @@ def build_octree(points: np.ndarray, *, leaf_cap: int = DEFAULT_LEAF_CAP,
             level.append(level[v] + 1)
             point_start.append(offset)
             point_end.append(offset + c)
+            anchor.append((2 * ax + (code & 1), 2 * ay + ((code >> 1) & 1),
+                           2 * az + ((code >> 2) & 1)))
             offset += c
             nchildren += 1
         child_count[v] = nchildren
 
+    levels = np.asarray(level, dtype=np.int64)
     return Octree(
         points=pts,
         perm=perm,
@@ -130,9 +165,12 @@ def build_octree(points: np.ndarray, *, leaf_cap: int = DEFAULT_LEAF_CAP,
         first_child=np.asarray(first_child, dtype=np.int64),
         child_count=np.asarray(child_count, dtype=np.int64),
         parent=np.asarray(parent, dtype=np.int64),
-        level=np.asarray(level, dtype=np.int64),
+        level=levels,
         point_start=np.asarray(point_start, dtype=np.int64),
         point_end=np.asarray(point_end, dtype=np.int64),
         leaf_cap=leaf_cap,
+        sfc=sfc,
+        node_key=node_keys(curve, np.asarray(anchor, dtype=np.uint64),
+                           levels),
         _sorted_points=sorted_pts,
     )

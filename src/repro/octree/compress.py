@@ -1,0 +1,106 @@
+"""Compressed octrees: splice out single-child chains.
+
+Highly non-uniform inputs (the virus-shell molecules: a thin 2-D shell
+embedded in a big empty cube) drive the adaptive builder through long
+runs of nodes with exactly one non-empty octant.  Those chain nodes cost
+traversal steps and memory but never change a classification outcome:
+every node of a chain owns the *same* point slice, hence the same
+enclosing ball, hence the same multipole-acceptance decision and the
+same far-field distance bit pattern as the chain's deepest node.
+
+:func:`compress` removes them.  The result keeps, for every maximal
+single-child chain, only the deepest node (the tightest cube), re-linked
+to the chain head's parent; node ids are renumbered in BFS order so the
+container invariants every kernel relies on still hold (parents precede
+children, children of a node are contiguous, levels are contiguous).
+Leaf ids change but leaf *contents* -- the point slices, the permutation
+and the canonical (curve) leaf order -- are identical, which is why a
+compressed tree slots into plans, partitioning and serving unchanged,
+differing from the plain tree only in floating-point summation order of
+the far-field fold.
+
+cf. pysph's ``CompressedOctree`` (SNIPPETS.md §1) and the linear
+compressed-octree literature it follows.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .octree import Octree
+
+
+class CompressedOctree(Octree):
+    """An :class:`Octree` with every single-child chain spliced out.
+
+    Structurally a plain :class:`Octree` (same arrays, same kernels);
+    the subclass exists so callers can assert the compression contract
+    (``compressed`` is True and no node has exactly one child).
+    """
+
+
+def compress(tree: Octree) -> CompressedOctree:
+    """Collapse single-child chains of ``tree`` into a
+    :class:`CompressedOctree`.
+
+    Guarantees, asserted by the property tests:
+
+    * identical point set, permutation and sorted order (shared arrays);
+    * identical leaf *contents* and canonical leaf order (leaf ids are
+      renumbered);
+    * no surviving node has exactly one child, and on chain-heavy trees
+      the depth is strictly smaller;
+    * per-node ball geometry and SFC keys of surviving nodes are carried
+      over unchanged, so MAC decisions -- and far-field distance bit
+      patterns -- match the plain tree's for every surviving node.
+    """
+    fc = tree.first_child
+    cc = tree.child_count
+
+    def chain_end(v: int) -> int:
+        while cc[v] == 1:
+            v = int(fc[v])
+        return v
+
+    # BFS over the spliced tree, renumbering as we go.
+    old_ids: list[int] = [chain_end(0)]
+    new_parent: list[int] = [-1]
+    new_level: list[int] = [0]
+    new_first_child: list[int] = []
+    new_child_count: list[int] = []
+    head = 0
+    while head < len(old_ids):
+        v = old_ids[head]
+        head += 1
+        k = int(cc[v])
+        if k == 0:
+            new_first_child.append(-1)
+            new_child_count.append(0)
+            continue
+        new_first_child.append(len(old_ids))
+        new_child_count.append(k)
+        for c in range(int(fc[v]), int(fc[v]) + k):
+            old_ids.append(chain_end(c))
+            new_parent.append(head - 1)
+            new_level.append(new_level[head - 1] + 1)
+
+    sel = np.asarray(old_ids, dtype=np.int64)
+    return CompressedOctree(
+        points=tree.points,
+        perm=tree.perm,
+        cube_center=tree.cube_center[sel],
+        cube_half=tree.cube_half[sel],
+        ball_center=tree.ball_center[sel],
+        ball_radius=tree.ball_radius[sel],
+        first_child=np.asarray(new_first_child, dtype=np.int64),
+        child_count=np.asarray(new_child_count, dtype=np.int64),
+        parent=np.asarray(new_parent, dtype=np.int64),
+        level=np.asarray(new_level, dtype=np.int64),
+        point_start=tree.point_start[sel],
+        point_end=tree.point_end[sel],
+        leaf_cap=tree.leaf_cap,
+        sfc=tree.sfc,
+        compressed=True,
+        node_key=None if tree.node_key is None else tree.node_key[sel],
+        _sorted_points=tree._sorted_points,
+    )

@@ -43,6 +43,15 @@ class Octree:
         Tree topology; ``parent[0] == -1``.
     point_start / point_end:
         ``(M,)`` slice bounds into ``perm``.
+    sfc / node_key:
+        The space-filling curve the builder ordered children by, and the
+        exact integer curve key of every node's cube
+        (:func:`repro.octree.sfc.node_keys`).  Keys of disjoint cubes
+        fall in disjoint curve intervals, so sorting leaves by key equals
+        sorting them by ``point_start`` -- the canonical leaf order.
+    compressed:
+        True for trees produced by :func:`repro.octree.compress.compress`
+        (single-child chains spliced out; leaf contents identical).
     """
 
     points: np.ndarray
@@ -58,6 +67,9 @@ class Octree:
     point_start: np.ndarray
     point_end: np.ndarray
     leaf_cap: int = 0
+    sfc: str = "morton"
+    compressed: bool = False
+    node_key: np.ndarray | None = field(default=None, repr=False)
     _leaves: np.ndarray | None = field(default=None, repr=False)
     _sorted_points: np.ndarray | None = field(default=None, repr=False)
 
@@ -84,11 +96,36 @@ class Octree:
         return self.child_count[v] == 0
 
     @property
+    def variant(self) -> str:
+        """Tree-variant fingerprint, e.g. ``"morton"`` or
+        ``"hilbert+compressed"`` -- what plan metadata, plan-cache keys
+        and the serve registry record so artefacts never mix variants."""
+        return self.sfc + ("+compressed" if self.compressed else "")
+
+    @property
     def leaves(self) -> np.ndarray:
-        """Ids of all leaf nodes, in depth-first (spatial) order."""
+        """Ids of all leaf nodes, in **canonical** (curve) order.
+
+        Canonical = ascending ``point_start``, which for a builder-
+        produced tree equals depth-first traversal order equals ascending
+        SFC leaf key.  Every downstream consumer -- plan rows, partition
+        segments, serve slices, the ``PUSH-INTEGRALS`` leaf tiling --
+        addresses leaves through this list, so the canonical order *is*
+        the cross-layer row-order contract (docs/ALGORITHMS.md).
+        """
         if self._leaves is None:
-            self._leaves = np.flatnonzero(self.child_count == 0)
+            leaf_ids = np.flatnonzero(self.child_count == 0)
+            self._leaves = leaf_ids[np.argsort(self.point_start[leaf_ids],
+                                               kind="stable")]
         return self._leaves
+
+    @property
+    def leaf_keys(self) -> np.ndarray:
+        """SFC keys of the canonical leaf list (non-decreasing)."""
+        if self.node_key is None:
+            raise ValueError("this tree carries no SFC keys "
+                             "(hand-constructed without node_key)")
+        return self.node_key[self.leaves]
 
     def children(self, v: int) -> np.ndarray:
         """Ids of the children of node ``v`` (empty for leaves)."""
@@ -148,6 +185,8 @@ class Octree:
                     self.ball_radius, self.first_child, self.child_count,
                     self.parent, self.level, self.point_start, self.point_end):
             total += arr.nbytes
+        if self.node_key is not None:
+            total += self.node_key.nbytes
         return int(total)
 
     def validate(self) -> None:
@@ -159,6 +198,19 @@ class Octree:
         ball, and leaf sizes respect the cap.
         """
         assert self.point_start[0] == 0 and self.point_end[0] == self.npoints
+        lv = self.leaves
+        # Canonical leaves tile the sorted positions [0, N) in order --
+        # the invariant PUSH-INTEGRALS' leaf-repeat and the halo
+        # contiguity accounting rely on.
+        assert self.point_start[lv[0]] == 0
+        assert self.point_end[lv[-1]] == self.npoints
+        assert np.all(self.point_end[lv[:-1]] == self.point_start[lv[1:]])
+        if self.node_key is not None:
+            assert np.all(np.diff(self.node_key[lv].astype(np.int64)) >= 0), \
+                "leaf keys must be non-decreasing in canonical order"
+        if self.compressed:
+            assert not np.any(self.child_count == 1), \
+                "a compressed octree has no single-child chains"
         sp = self.sorted_points
         for v in range(self.nnodes):
             s, e = self.point_start[v], self.point_end[v]

@@ -1,0 +1,317 @@
+"""Space-filling-curve keys: Morton and Hilbert behind one interface.
+
+The octree builder addresses every node by a 63-bit space-filling-curve
+key (21 bits per axis), and the leaf list -- the unit every downstream
+layer divides -- is canonically ordered along that curve.  Two curves are
+provided:
+
+* **Morton** (Z-order): the bit-interleaving of :mod:`repro.octree.morton`.
+  Cheap to compute, but adjacent keys can jump across the whole cube
+  (the "Z" seams), which costs cache locality and halo compactness.
+* **Hilbert**: the 3-D Hilbert curve via Skilling's transpose algorithm
+  ("Programming the Hilbert curve", AIP Conf. Proc. 707, 2004),
+  vectorised over NumPy arrays.  Consecutive keys are always
+  face-adjacent lattice cells, so contiguous key ranges are spatially
+  compact -- the property the SFC load-balancing literature cited by the
+  paper (Campbell et al.) relies on, and the one
+  :func:`repro.octree.partition.segment_by_key_range` turns into
+  contiguous per-rank ownership intervals.
+
+Both curves are *hierarchical*: the cells of an octree node at any level
+occupy one contiguous key interval, and sibling subtrees' intervals are
+disjoint.  That is what makes the leaf-key order identical to depth-first
+(curve) traversal order and lets :func:`child_curve_order` decide the
+builder's child visitation order from integer cell anchors alone.
+
+All lattice math is exact ``uint64`` arithmetic on the octree's own cell
+anchors (no float quantisation in the build path), so workers rebuilding
+a tree from shared coordinates derive bit-identical keys.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .morton import BITS_PER_AXIS, _compact_bits, _spread_bits, quantize
+
+__all__ = [
+    "SFCKey", "MortonKey", "HilbertKey", "SFC_KEYS", "get_sfc",
+    "hilbert_encode", "hilbert_decode",
+    "hilbert_encode_lattice", "hilbert_decode_key", "node_keys",
+]
+
+_U = np.uint64
+_ONE = _U(1)
+
+
+def _pack_transpose(x0: np.ndarray, x1: np.ndarray, x2: np.ndarray
+                    ) -> np.ndarray:
+    """Interleave three <=21-bit coordinate arrays MSB-first with ``x0``
+    most significant within each bit triple (Skilling's transpose
+    convention)."""
+    return (_spread_bits(x2)
+            | (_spread_bits(x1) << _ONE)
+            | (_spread_bits(x0) << _U(2)))
+
+
+def _unpack_transpose(keys: np.ndarray) -> list[np.ndarray]:
+    k = np.asarray(keys, dtype=np.uint64)
+    return [_compact_bits(k >> _U(2)),
+            _compact_bits(k >> _ONE),
+            _compact_bits(k)]
+
+
+def _axes_to_transpose(coords: np.ndarray, order: int) -> list[np.ndarray]:
+    """Skilling's AxesToTranspose, vectorised: lattice coordinates ->
+    transpose-form Hilbert coordinates (``order`` bit planes)."""
+    x = [np.array(coords[:, i], dtype=np.uint64) for i in range(3)]
+    q = _ONE << _U(order - 1)
+    while q > _ONE:
+        p = q - _ONE
+        for i in range(3):
+            hi = (x[i] & q) != 0
+            if i == 0:
+                x[0] = np.where(hi, x[0] ^ p, x[0])
+            else:
+                t = np.where(hi, _U(0), (x[0] ^ x[i]) & p)
+                x[0] = np.where(hi, x[0] ^ p, x[0] ^ t)
+                x[i] = x[i] ^ t
+        q >>= _ONE
+    # Gray encode.
+    x[1] ^= x[0]
+    x[2] ^= x[1]
+    t = np.zeros_like(x[2])
+    q = _ONE << _U(order - 1)
+    while q > _ONE:
+        t = np.where((x[2] & q) != 0, t ^ (q - _ONE), t)
+        q >>= _ONE
+    return [xi ^ t for xi in x]
+
+
+def _transpose_to_axes(x: list[np.ndarray], order: int) -> np.ndarray:
+    """Inverse of :func:`_axes_to_transpose`."""
+    x = [np.array(xi, dtype=np.uint64) for xi in x]
+    # Gray decode.
+    t = x[2] >> _ONE
+    x[2] ^= x[1]
+    x[1] ^= x[0]
+    x[0] ^= t
+    q = _U(2)
+    top = _U(2) << _U(order - 1)
+    while q != top:
+        p = q - _ONE
+        for i in (2, 1, 0):
+            hi = (x[i] & q) != 0
+            if i == 0:
+                x[0] = np.where(hi, x[0] ^ p, x[0])
+            else:
+                t = np.where(hi, _U(0), (x[0] ^ x[i]) & p)
+                x[0] = np.where(hi, x[0] ^ p, x[0] ^ t)
+                x[i] = x[i] ^ t
+        q <<= _ONE
+    return np.column_stack(x)
+
+
+def hilbert_encode_lattice(coords: np.ndarray,
+                           order: int = BITS_PER_AXIS) -> np.ndarray:
+    """Hilbert keys of integer lattice coordinates.
+
+    Parameters
+    ----------
+    coords:
+        ``(N, 3)`` unsigned integers, each ``< 2**order``.
+    order:
+        Curve order (bit planes per axis), ``1 <= order <= 21``.
+
+    Returns
+    -------
+    ``(N,)`` uint64 keys in ``[0, 8**order)`` -- a bijection on the
+    ``order``-level lattice, with consecutive keys mapping to
+    face-adjacent cells.
+    """
+    if not 1 <= order <= BITS_PER_AXIS:
+        raise ValueError(f"order must be in [1, {BITS_PER_AXIS}]")
+    c = np.asarray(coords, dtype=np.uint64)
+    if c.ndim != 2 or c.shape[1] != 3:
+        raise ValueError("coords must be (N, 3)")
+    if c.shape[0] == 0:
+        return np.empty(0, dtype=np.uint64)
+    if order == 1:
+        # A single bit plane: transpose form is the Gray-coded octant.
+        x = [c[:, 0] & _ONE, c[:, 1] & _ONE, c[:, 2] & _ONE]
+        x[1] = x[1] ^ x[0]
+        x[2] = x[2] ^ x[1]
+        return (x[0] << _U(2)) | (x[1] << _ONE) | x[2]
+    return _pack_transpose(*_axes_to_transpose(c, order))
+
+
+def hilbert_decode_key(keys: np.ndarray,
+                       order: int = BITS_PER_AXIS) -> np.ndarray:
+    """Lattice coordinates of Hilbert ``keys`` (inverse of
+    :func:`hilbert_encode_lattice`), shape ``(N, 3)`` uint64."""
+    if not 1 <= order <= BITS_PER_AXIS:
+        raise ValueError(f"order must be in [1, {BITS_PER_AXIS}]")
+    k = np.asarray(keys, dtype=np.uint64)
+    if k.size == 0:
+        return np.empty((0, 3), dtype=np.uint64)
+    if order == 1:
+        x = [(k >> _U(2)) & _ONE, (k >> _ONE) & _ONE, k & _ONE]
+        x[2] = x[2] ^ x[1]
+        x[1] = x[1] ^ x[0]
+        return np.column_stack(x)
+    return _transpose_to_axes(_unpack_transpose(k), order)
+
+
+def hilbert_encode(points: np.ndarray, origin: np.ndarray | None = None,
+                   extent: float | None = None) -> np.ndarray:
+    """Hilbert keys for 3-D float points, shape ``(N,)`` uint64.
+
+    ``origin``/``extent`` default to the points' bounding cube, exactly
+    like :func:`repro.octree.morton.encode`.
+    """
+    pts = np.asarray(points, dtype=np.float64)
+    if pts.ndim != 2 or pts.shape[1] != 3:
+        raise ValueError("points must be (N, 3)")
+    if len(pts) == 0:
+        return np.empty(0, dtype=np.uint64)
+    if origin is None:
+        origin = pts.min(axis=0)
+    if extent is None:
+        extent = float(max((pts.max(axis=0) - origin).max(), 1e-12))
+    return hilbert_encode_lattice(quantize(pts, np.asarray(origin), extent))
+
+
+def hilbert_decode(codes: np.ndarray) -> np.ndarray:
+    """Quantised lattice coordinates of full-order Hilbert ``codes``."""
+    return hilbert_decode_key(codes, BITS_PER_AXIS)
+
+
+class SFCKey:
+    """One space-filling curve: float-point and lattice key functions.
+
+    ``name`` identifies the curve in :data:`SFC_KEYS`,
+    :class:`~repro.core.params.ApproximationParams` and plan/registry
+    fingerprints.  Lattice methods are exact integer maps; the float
+    ``encode`` quantises onto the 21-bit lattice first.
+    """
+
+    name: str = ""
+
+    def encode(self, points: np.ndarray, origin: np.ndarray | None = None,
+               extent: float | None = None) -> np.ndarray:
+        raise NotImplementedError
+
+    def encode_lattice(self, coords: np.ndarray,
+                       order: int = BITS_PER_AXIS) -> np.ndarray:
+        raise NotImplementedError
+
+    def decode_lattice(self, keys: np.ndarray,
+                       order: int = BITS_PER_AXIS) -> np.ndarray:
+        raise NotImplementedError
+
+    def sort_order(self, points: np.ndarray) -> np.ndarray:
+        """Permutation ordering ``points`` along the curve."""
+        return np.argsort(self.encode(points), kind="stable")
+
+    def child_order(self, anchor: tuple[int, int, int],
+                    level: int) -> np.ndarray:
+        """Visitation order of the 8 octant codes of the node at integer
+        cell ``anchor`` (its per-axis lattice index at ``level``).
+
+        Octant codes follow the builder's convention (bit0 -> +x,
+        bit1 -> +y, bit2 -> +z).  The returned permutation lists the
+        codes in the order their child cells appear along the curve --
+        hierarchy makes the node-local order equal to the full-depth
+        order.  Beyond the key resolution (``level >= 21``) ties are
+        broken by code order, which is deterministic and only affects
+        sub-resolution cells.
+        """
+        bits = np.arange(8, dtype=np.uint64)
+        child_level = min(level + 1, BITS_PER_AXIS)
+        shift = _U(max(level + 1 - BITS_PER_AXIS, 0))
+        cells = np.column_stack([
+            (_U(2 * anchor[0]) + (bits & _ONE)) >> shift,
+            (_U(2 * anchor[1]) + ((bits >> _ONE) & _ONE)) >> shift,
+            (_U(2 * anchor[2]) + ((bits >> _U(2)) & _ONE)) >> shift,
+        ])
+        keys = self.encode_lattice(cells, child_level)
+        return np.argsort(keys, kind="stable")
+
+
+class MortonKey(SFCKey):
+    """Z-order keys (delegates to :mod:`repro.octree.morton`)."""
+
+    name = "morton"
+
+    def encode(self, points, origin=None, extent=None):
+        from . import morton
+        return morton.encode(points, origin, extent)
+
+    def encode_lattice(self, coords, order=BITS_PER_AXIS):
+        c = np.asarray(coords, dtype=np.uint64)
+        return (_spread_bits(c[:, 0])
+                | (_spread_bits(c[:, 1]) << _ONE)
+                | (_spread_bits(c[:, 2]) << _U(2)))
+
+    def decode_lattice(self, keys, order=BITS_PER_AXIS):
+        from . import morton
+        return morton.decode(keys)
+
+    def child_order(self, anchor, level):
+        # Morton visits octants exactly in code order -- the identity the
+        # seed builder hard-codes, preserved bit for bit.
+        return np.arange(8, dtype=np.int64)
+
+
+class HilbertKey(SFCKey):
+    """Hilbert keys (Skilling transpose algorithm, vectorised)."""
+
+    name = "hilbert"
+
+    def encode(self, points, origin=None, extent=None):
+        return hilbert_encode(points, origin, extent)
+
+    def encode_lattice(self, coords, order=BITS_PER_AXIS):
+        return hilbert_encode_lattice(coords, order)
+
+    def decode_lattice(self, keys, order=BITS_PER_AXIS):
+        return hilbert_decode_key(keys, order)
+
+
+#: Registry of the supported curves, keyed by ``SFCKey.name``.
+SFC_KEYS: dict[str, SFCKey] = {
+    "morton": MortonKey(),
+    "hilbert": HilbertKey(),
+}
+
+
+def node_keys(curve: SFCKey, anchors: np.ndarray,
+              levels: np.ndarray) -> np.ndarray:
+    """Full-order curve key of each node's cube, from integer anchors.
+
+    ``anchors[v]`` is node ``v``'s per-axis lattice index at its own
+    ``levels[v]`` (the builder maintains these exactly: child anchor =
+    ``2 * parent_anchor + octant bits``).  The key is taken at the centre
+    cell of the cube on the 21-bit lattice -- any fixed interior cell
+    works, because distinct cubes at resolvable levels own disjoint key
+    intervals; nodes deeper than 21 levels collapse onto their level-21
+    ancestor cell (equal keys, which the key-range partitioner keeps
+    together).
+    """
+    a = np.asarray(anchors, dtype=np.uint64)
+    lv = np.asarray(levels, dtype=np.int64)
+    up = np.maximum(BITS_PER_AXIS - lv, 0).astype(np.uint64)[:, None]
+    down = np.maximum(lv - BITS_PER_AXIS, 0).astype(np.uint64)[:, None]
+    half = (_ONE << up) >> _ONE
+    cell = ((a << up) >> down) + half
+    return curve.encode_lattice(cell, BITS_PER_AXIS)
+
+
+def get_sfc(name: str) -> SFCKey:
+    """The registered :class:`SFCKey` for ``name`` (raises on unknown)."""
+    try:
+        return SFC_KEYS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown space-filling curve {name!r}; "
+            f"expected one of {sorted(SFC_KEYS)}") from None

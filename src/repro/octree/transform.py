@@ -12,6 +12,14 @@ centres (transformed along with the points).  The axis-aligned cube
 geometry is only exact for pure translations; after a rotation the stored
 cubes are bounding *approximations* (still valid balls-wise), which is fine
 because the MAC only uses balls.
+
+SFC addressing (``sfc``/``compressed``/``node_key`` and with them the
+canonical leaf order) is copied through unchanged: the canonical order is
+fixed at build time in the *build frame*, and since a rigid transform
+permutes neither nodes nor point slices, the carried keys remain a valid
+-- merely no longer geometry-aligned -- total order over the transformed
+tree's leaves.  Plans and partitions keyed against the original tree
+stay valid verbatim.
 """
 
 from __future__ import annotations

@@ -36,8 +36,17 @@ import numpy as np
 
 from ..core.born import AtomTreeData, BornPartial, QuadTreeData
 from ..core.driver import PolarizationEnergyCalculator
-from ..octree.partition import segment_by_weight, segment_leaf_bounds
+from ..octree.partition import (coarsen_keys, segment_by_key_range,
+                                segment_by_weight, segment_leaf_bounds)
 from ..plan import InteractionPlan, build_born_plan, execute_born_plan
+
+#: Ownership schemes :func:`plan_halos` implements.  ``"row-weight"`` is
+#: the exact greedy balancer over per-row pair counts (the executing
+#: backends' cuts); ``"key-range"`` snaps the same cuts to coarse SFC key
+#: blocks (:func:`~repro.octree.partition.coarsen_keys` +
+#: :func:`~repro.octree.partition.segment_by_key_range`), so each rank's
+#: ownership is a contiguous curve-key interval.
+HALO_SCHEMES = ("row-weight", "key-range")
 
 #: Bytes per quadrature point (position + normal + weight) and per atom
 #: (position + radius + charge) in the exchanged payloads.
@@ -59,14 +68,19 @@ class HaloPlan:
         the leaves it owns itself).
     q_bounds:
         The Q-leaf (plan-row) segment bounds the ownership derives from
-        -- exact per-row pair counts, the same cuts the executing
-        backends use, so halo accounting and work division agree.
+        -- under the default ``"row-weight"`` scheme these are exact
+        per-row pair-count cuts, the same the executing backends use, so
+        halo accounting and work division agree; under ``"key-range"``
+        they are the same cuts snapped to coarse SFC key blocks.
+    scheme:
+        Which of :data:`HALO_SCHEMES` produced the bounds.
     """
 
     owner_of_atom_leaf: np.ndarray
     owner_of_q_leaf: np.ndarray
     needed_atom_leaves: list[np.ndarray]
     q_bounds: tuple[tuple[int, int], ...]
+    scheme: str = "row-weight"
 
 
 @dataclass(frozen=True)
@@ -104,19 +118,40 @@ def _leaf_owner(bounds: list[tuple[int, int]], nleaves: int) -> np.ndarray:
 
 def plan_halos(atoms: AtomTreeData, quad: QuadTreeData, eps: float, *,
                nranks: int, mac_variant: str = "practical",
+               scheme: str = "row-weight",
                plan: InteractionPlan | None = None) -> HaloPlan:
     """Record which atom leaves each rank's near field touches.
 
     The near-leaf lists come straight from the interaction plan's CSR
     rows (no re-traversal): a rank's halo is the union of ``near_leaves``
     over its plan-row segment.  Pass ``plan`` to reuse a cached one.
+    ``scheme`` picks the ownership cuts (:data:`HALO_SCHEMES`): the exact
+    row-weight balancer, or key-range ownership aligned to coarse SFC
+    blocks (plan rows are in canonical leaf-key order, so the snapped
+    cuts stay contiguous).
     """
     a_tree = atoms.tree
     q_tree = quad.tree
     if plan is None:
         plan = build_born_plan(atoms, quad, eps, mac_variant=mac_variant)
-    q_bounds = segment_by_weight(plan.row_pair_weights(), nranks)
-    a_bounds = segment_leaf_bounds(a_tree, nranks)
+    row_weights = plan.row_pair_weights()
+    if scheme == "row-weight":
+        q_bounds = segment_by_weight(row_weights, nranks)
+        a_bounds = segment_leaf_bounds(a_tree, nranks)
+    elif scheme == "key-range":
+        if q_tree.node_key is None or a_tree.node_key is None:
+            raise ValueError("key-range ownership needs trees with SFC "
+                             "node keys (build_octree always sets them)")
+        q_keys = q_tree.node_key[plan.target_leaves]
+        q_bounds = segment_by_key_range(coarsen_keys(q_keys, nranks),
+                                        nranks, weights=row_weights)
+        a_sizes = (a_tree.point_end[a_tree.leaves]
+                   - a_tree.point_start[a_tree.leaves]).astype(np.float64)
+        a_bounds = segment_by_key_range(
+            coarsen_keys(a_tree.leaf_keys, nranks), nranks, weights=a_sizes)
+    else:
+        raise ValueError(f"unknown halo scheme {scheme!r}; "
+                         f"expected one of {HALO_SCHEMES}")
     # Leaf node id -> position in the leaf list (halo sets use positions).
     pos_of_node = np.full(a_tree.nnodes, -1, dtype=np.int64)
     pos_of_node[a_tree.leaves] = np.arange(len(a_tree.leaves),
@@ -131,13 +166,16 @@ def plan_halos(atoms: AtomTreeData, quad: QuadTreeData, eps: float, *,
         owner_of_q_leaf=_leaf_owner(q_bounds, len(q_tree.leaves)),
         needed_atom_leaves=needed,
         q_bounds=tuple((int(lo), int(hi)) for lo, hi in q_bounds),
+        scheme=scheme,
     )
 
 
 def analyze_distribution(calc: PolarizationEnergyCalculator, *,
-                         nranks: int) -> DataDistribution:
+                         nranks: int,
+                         scheme: str = "row-weight") -> DataDistribution:
     """Account memory and halo traffic for distributing the data of
-    ``calc``'s molecule across ``nranks`` ranks."""
+    ``calc``'s molecule across ``nranks`` ranks under the given
+    ownership ``scheme`` (:data:`HALO_SCHEMES`)."""
     if nranks < 1:
         raise ValueError("nranks must be >= 1")
     atoms = calc.atom_tree()
@@ -145,7 +183,7 @@ def analyze_distribution(calc: PolarizationEnergyCalculator, *,
     surface = calc.prepare_surface()
     plan = plan_halos(atoms, quad, calc.params.eps_born, nranks=nranks,
                       mac_variant=calc.params.born_mac_variant,
-                      plan=calc.born_plan())
+                      scheme=scheme, plan=calc.born_plan())
 
     a_tree = atoms.tree
     q_tree = quad.tree

@@ -244,8 +244,12 @@ def _worker_main(rank: int, size: int, bundle_name: str, layout: dict,
         # Octree construction is deterministic in the input coordinates, so
         # every worker rebuilds the identical trees from the shared arrays
         # (the paper's replicated-data design) with zero pickling.
-        atoms = AtomTreeData.build(molecule, leaf_cap=params.leaf_cap)
-        quad = QuadTreeData.build(surface, leaf_cap=params.quad_leaf_cap)
+        atoms = AtomTreeData.build(molecule, leaf_cap=params.leaf_cap,
+                                   sfc=params.tree_sfc,
+                                   compress=params.tree_compress)
+        quad = QuadTreeData.build(surface, leaf_cap=params.quad_leaf_cap,
+                                  sfc=params.tree_sfc,
+                                  compress=params.tree_compress)
         # The parent's plans were published once into the bundle; every
         # worker maps zero-copy views of the same rows (plan ids refer to
         # the deterministic tree rebuild above, so they are valid here).

@@ -7,6 +7,11 @@ classified against the walked tree in a single shared-frontier sweep
 (:func:`repro.octree.traversal.classify_many`), and the per-row results
 land in the CSR arrays of :class:`~repro.plan.schema.InteractionPlan`
 in exactly the order the per-leaf walks would have produced them.
+
+Rows follow the target tree's **canonical leaf order** (ascending SFC
+key; :attr:`repro.octree.octree.Octree.leaves`), and every plan records
+the octree variant its node/point ids refer to -- the row-order contract
+the executors' fold order is defined against.
 """
 
 from __future__ import annotations
@@ -44,9 +49,12 @@ def _plan_from_classification(kind: str, walked: Octree, target: Octree,
                               timer: Callable[[], float] | None
                               ) -> InteractionPlan:
     near_point_start, near_points = _near_point_csr(walked, mc)
+    if walked.variant != target.variant:
+        raise ValueError(f"walked/target tree variants differ: "
+                         f"{walked.variant!r} vs {target.variant!r}")
     plan = InteractionPlan(
         kind=kind, eps=eps, mac_variant=mac_variant, power=power,
-        multiplier=float(multiplier),
+        multiplier=float(multiplier), tree_variant=target.variant,
         target_leaves=np.asarray(leaves, dtype=np.int64),
         target_point_start=target.point_start[leaves].astype(np.int64),
         target_point_end=target.point_end[leaves].astype(np.int64),

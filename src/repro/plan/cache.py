@@ -1,6 +1,7 @@
 """Plan caching across pipeline phases and epsilon sweeps.
 
-A plan depends only on ``(tree pair, eps, mac_variant, power)``; the
+A plan depends only on ``(tree pair + variant, eps, mac_variant,
+power)``; the
 driver's phases and the Fig. 10 epsilon sweep keep asking for the same
 handful of configurations, so building each plan once and reusing it is
 pure win.  :class:`PlanCache` is a tiny keyed store with hit/miss
@@ -20,17 +21,24 @@ from typing import Callable
 
 from .schema import InteractionPlan
 
-#: Cache key: ("born", eps, mac_variant, power) or ("epol", eps).
+#: Cache key: ("born", eps, mac_variant, power, disable_far, tree_variant)
+#: or ("epol", eps, disable_far, tree_variant).  The tree variant is part
+#: of the key because a plan's node/point ids are only valid against the
+#: exact tree layout it was built from -- two variants of one molecule
+#: must never share a cached plan.
 PlanKey = tuple
 
 
 def born_key(eps: float, *, mac_variant: str = "practical",
-             power: int = 6, disable_far: bool = False) -> PlanKey:
-    return ("born", float(eps), mac_variant, power, bool(disable_far))
+             power: int = 6, disable_far: bool = False,
+             tree_variant: str = "morton") -> PlanKey:
+    return ("born", float(eps), mac_variant, power, bool(disable_far),
+            tree_variant)
 
 
-def epol_key(eps: float, *, disable_far: bool = False) -> PlanKey:
-    return ("epol", float(eps), bool(disable_far))
+def epol_key(eps: float, *, disable_far: bool = False,
+             tree_variant: str = "morton") -> PlanKey:
+    return ("epol", float(eps), bool(disable_far), tree_variant)
 
 
 class PlanCache:

@@ -11,8 +11,11 @@ slices by every rank.
 
 Determinism invariants (see ``docs/ALGORITHMS.md``):
 
-* rows are in ascending target-leaf order, the order the legacy per-leaf
-  loop processed them;
+* rows are in **canonical leaf-key order** -- the target tree's
+  ``leaves`` list, i.e. ascending SFC key / ascending ``point_start``;
+  the plan records this contract (``row_order``) and the tree variant it
+  was built against (``tree_variant``) in its metadata, and the fold
+  order of every executor is defined as ascending row order;
 * within a row, far nodes and near leaves appear in the exact BFS
   level-major order :func:`~repro.octree.traversal.classify_against_ball`
   emits, and ``far_dist`` carries the bit pattern of the single-target
@@ -43,7 +46,12 @@ PLAN_ARRAY_FIELDS: tuple[str, ...] = (
 #: Scalar metadata fields pickled alongside the arrays.
 PLAN_META_FIELDS: tuple[str, ...] = (
     "kind", "eps", "mac_variant", "power", "multiplier", "build_seconds",
+    "tree_variant", "row_order",
 )
+
+#: The only row-order contract current executors implement: rows in the
+#: target tree's canonical leaf order, folded ascending.
+ROW_ORDER_LEAF_KEY = "leaf-key"
 
 
 @dataclass
@@ -79,6 +87,11 @@ class InteractionPlan:
     near_points: np.ndarray         # (sum A,) int64
     nodes_visited: np.ndarray       # (L,)   int64
     build_seconds: float = 0.0
+    #: Octree variant fingerprint the plan's node/point ids refer to
+    #: (``Octree.variant``); mixing variants is a hard error downstream.
+    tree_variant: str = "morton"
+    #: Row-order contract; always :data:`ROW_ORDER_LEAF_KEY` today.
+    row_order: str = ROW_ORDER_LEAF_KEY
     _gather_cache: dict = field(default_factory=dict, repr=False,
                                 compare=False)
 
@@ -223,6 +236,10 @@ class InteractionPlan:
             raise ValueError("near_point_start does not cover near_points")
         if np.any(self.target_sizes <= 0):
             raise ValueError("every target leaf must hold points")
+        if self.row_order != ROW_ORDER_LEAF_KEY:
+            raise ValueError(
+                f"unknown row-order contract {self.row_order!r}; executors "
+                f"implement only {ROW_ORDER_LEAF_KEY!r}")
 
 
 @dataclass
@@ -235,6 +252,10 @@ class PlanSet:
     def __post_init__(self) -> None:
         if self.born.kind != "born" or self.epol.kind != "epol":
             raise ValueError("PlanSet wants (born, epol) plans in order")
+        if self.born.tree_variant != self.epol.tree_variant:
+            raise ValueError(
+                f"mixed tree variants in one PlanSet: "
+                f"{self.born.tree_variant!r} vs {self.epol.tree_variant!r}")
 
 
 def _field_names() -> set[str]:

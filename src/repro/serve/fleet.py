@@ -291,9 +291,13 @@ class _WorkerState:
         # plans' node/point ids are valid against these trees by the same
         # replicated-data argument run_real relies on.
         self.atoms = AtomTreeData.build(self.molecule,
-                                        leaf_cap=params.leaf_cap)
+                                        leaf_cap=params.leaf_cap,
+                                        sfc=params.tree_sfc,
+                                        compress=params.tree_compress)
         self.quad = QuadTreeData.build(surface,
-                                       leaf_cap=params.quad_leaf_cap)
+                                       leaf_cap=params.quad_leaf_cap,
+                                       sfc=params.tree_sfc,
+                                       compress=params.tree_compress)
         self.plans = PlanSet(
             born=InteractionPlan.from_arrays(
                 plan_meta["born"],

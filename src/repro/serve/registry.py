@@ -39,12 +39,19 @@ def content_key(molecule: Molecule, params: ApproximationParams) -> str:
     Hashes the raw float64 bytes of positions/radii/charges plus the
     dataclass repr of ``params`` (deterministic for a frozen field set),
     so the key changes iff something that could change served energies
-    or prepared state changes.
+    or prepared state changes.  The octree variant
+    (``params.tree_variant``) is hashed as an explicit component on top
+    of the repr: plans and shared-memory publications are only valid
+    against the exact tree layout they were built from, so two variants
+    of one conformation must never collide even if the params repr ever
+    stops spelling the variant fields out.
     """
     h = hashlib.sha256()
     for arr in (molecule.positions, molecule.radii, molecule.charges):
         h.update(np.ascontiguousarray(arr, dtype=np.float64).tobytes())
     h.update(repr(params).encode())
+    if params is not None:
+        h.update(b"tree:" + params.tree_variant.encode())
     return h.hexdigest()[:16]
 
 
@@ -99,6 +106,11 @@ class RegistryEntry:
     @property
     def params(self) -> ApproximationParams:
         return self.calc.params
+
+    @property
+    def variant(self) -> str:
+        """Octree variant this entry's trees/plans are addressed by."""
+        return self.calc.params.tree_variant
 
     def plans_for(self, eps_born: float, eps_epol: float) -> PlanSet:
         """The entry's cached plans for one epsilon configuration (built
@@ -263,8 +275,12 @@ class MoleculeRegistry:
         with self._lock:
             plan_stats = [e.calc.plan_cache().stats()
                           for e in self._entries.values()]
+            variants: dict[str, int] = {}
+            for e in self._entries.values():
+                variants[e.variant] = variants.get(e.variant, 0) + 1
             return {
                 "entries": len(self._entries),
+                "variants": variants,
                 "hits": self.hits,
                 "misses": self.misses,
                 "evictions": self.evictions,

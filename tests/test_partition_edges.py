@@ -1,0 +1,172 @@
+"""Edge-case tests for the partition primitives.
+
+``test_partition_properties.py`` sweeps the happy path with Hypothesis;
+this file pins the *documented* edge behaviour of
+:mod:`repro.octree.partition` (see its module docstring) with explicit
+examples -- the cases a rank-count or weight-profile corner would hit in
+production: zero-weight tails, more parts than items, single-leaf trees,
+and the equal-keys-never-split guarantee of key-interval ownership.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.octree.build import build_octree
+from repro.octree.partition import (coarsen_keys, segment_by_key_range,
+                                    segment_by_weight, segment_leaf_bounds,
+                                    segment_leaves)
+
+
+def _assert_cover(bounds, n, nparts):
+    assert len(bounds) == nparts
+    cursor = 0
+    for start, end in bounds:
+        assert start == cursor
+        assert end >= start
+        cursor = end
+    assert cursor == n
+
+
+class TestSegmentByWeightEdges:
+    def test_zero_weight_tail_goes_to_last_part(self):
+        """Trailing zero-weight items never start a new part: the greedy
+        prefix cut reaches every target inside the weighted prefix."""
+        w = np.array([5.0, 5.0, 5.0, 0.0, 0.0, 0.0])
+        bounds = segment_by_weight(w, 3)
+        _assert_cover(bounds, 6, 3)
+        # Each weighted item lands in its own part; the zero tail rides
+        # with the last.
+        assert bounds == [(0, 1), (1, 2), (2, 6)]
+
+    def test_all_zero_weights_fall_back_to_count_balance(self):
+        bounds = segment_by_weight(np.zeros(6), 3)
+        assert bounds == [(0, 2), (2, 4), (4, 6)]
+
+    def test_more_parts_than_items(self):
+        bounds = segment_by_weight(np.array([1.0, 1.0]), 5)
+        _assert_cover(bounds, 2, 5)
+        assert sum(1 for s, e in bounds if e > s) == 2
+
+    def test_single_item_goes_to_first_part(self):
+        assert segment_by_weight(np.array([3.0]), 4) == \
+            [(0, 1), (1, 1), (1, 1), (1, 1)]
+
+    def test_empty_input(self):
+        assert segment_by_weight(np.array([]), 3) == [(0, 0)] * 3
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            segment_by_weight(np.array([1.0, -1.0]), 2)
+
+    def test_nparts_below_one_rejected(self):
+        with pytest.raises(ValueError, match="nparts"):
+            segment_by_weight(np.array([1.0]), 0)
+
+
+class TestSegmentByKeyRangeEdges:
+    def test_equal_keys_never_split(self):
+        """Runs of one key stay whole even against the weight balance --
+        the invariant that makes ownership publishable as key ranges."""
+        keys = np.array([0, 0, 0, 0, 7, 7, 7, 7], dtype=np.uint64)
+        bounds = segment_by_key_range(keys, 4)
+        _assert_cover(bounds, 8, 4)
+        for start, end in bounds:
+            if end > start:
+                # The whole run of every key inside is inside.
+                for k in np.unique(keys[start:end]):
+                    run = np.flatnonzero(keys == k)
+                    assert run[0] >= start and run[-1] < end
+
+    def test_distinct_keys_match_weight_cuts(self):
+        """Strictly increasing keys need no snapping: the bounds equal
+        the plain weighted cuts (key-range costs nothing)."""
+        keys = np.arange(10, dtype=np.uint64)
+        w = np.ones(10)
+        assert segment_by_key_range(keys, 3, weights=w) == \
+            segment_by_weight(w, 3)
+
+    def test_zero_weight_tail_with_keys(self):
+        keys = np.arange(6, dtype=np.uint64)
+        w = np.array([5.0, 5.0, 5.0, 0.0, 0.0, 0.0])
+        bounds = segment_by_key_range(keys, 3, weights=w)
+        _assert_cover(bounds, 6, 3)
+        assert bounds[-1][1] == 6
+
+    def test_single_item(self):
+        bounds = segment_by_key_range(np.array([42], dtype=np.uint64), 3)
+        assert bounds == [(0, 1), (1, 1), (1, 1)]
+
+    def test_more_parts_than_keys(self):
+        keys = np.array([1, 1, 2], dtype=np.uint64)
+        bounds = segment_by_key_range(keys, 6)
+        _assert_cover(bounds, 3, 6)
+
+    def test_all_items_one_key(self):
+        """One giant key run: the first part owns everything."""
+        keys = np.full(9, 3, dtype=np.uint64)
+        bounds = segment_by_key_range(keys, 3)
+        _assert_cover(bounds, 9, 3)
+        assert bounds[0] == (0, 9)
+
+    def test_empty_input(self):
+        assert segment_by_key_range(np.array([], dtype=np.uint64), 2) == \
+            [(0, 0)] * 2
+
+    def test_decreasing_keys_rejected(self):
+        with pytest.raises(ValueError, match="non-decreasing"):
+            segment_by_key_range(np.array([2, 1], dtype=np.uint64), 2)
+
+    def test_weight_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="length"):
+            segment_by_key_range(np.arange(3, dtype=np.uint64), 2,
+                                 weights=np.ones(2))
+
+    def test_nparts_below_one_rejected(self):
+        with pytest.raises(ValueError, match="nparts"):
+            segment_by_key_range(np.arange(3, dtype=np.uint64), 0)
+
+
+class TestCoarsenKeysEdges:
+    def test_blocks_are_order_preserving(self):
+        rng = np.random.default_rng(0)
+        keys = np.sort(rng.integers(0, 2 ** 63, size=200).astype(np.uint64))
+        blocks = coarsen_keys(keys, 4)
+        assert np.all(np.diff(blocks.astype(np.int64)) >= 0)
+
+    def test_block_count_meets_target_when_possible(self):
+        rng = np.random.default_rng(1)
+        keys = np.sort(rng.integers(0, 2 ** 63, size=500).astype(np.uint64))
+        blocks = coarsen_keys(keys, 4, blocks_per_part=4)
+        assert len(np.unique(blocks)) >= min(len(np.unique(keys)), 16)
+
+    def test_few_distinct_keys_survive(self):
+        keys = np.array([0, 0, 1, 1], dtype=np.uint64)
+        blocks = coarsen_keys(keys, 8)
+        # Cannot manufacture more blocks than distinct keys.
+        assert len(np.unique(blocks)) <= 2
+
+    def test_empty_input(self):
+        assert len(coarsen_keys(np.array([], dtype=np.uint64), 3)) == 0
+
+    def test_nparts_below_one_rejected(self):
+        with pytest.raises(ValueError, match="nparts"):
+            coarsen_keys(np.arange(3, dtype=np.uint64), 0)
+
+
+class TestSingleLeafTrees:
+    @pytest.mark.parametrize("sfc", ["morton", "hilbert"])
+    def test_single_leaf_tree_partitions(self, sfc):
+        """A tree whose root is its only leaf: first part owns it under
+        every scheme, the rest are empty."""
+        points = np.array([[0.0, 0.0, 0.0], [0.1, 0.0, 0.0]])
+        tree = build_octree(points, leaf_cap=4, sfc=sfc)
+        assert len(tree.leaves) == 1
+        for balance in ("points", "count"):
+            bounds = segment_leaf_bounds(tree, 3, balance=balance)
+            assert bounds == [(0, 1), (1, 1), (1, 1)]
+        parts = segment_leaves(tree, 3)
+        assert [len(p) for p in parts] == [1, 0, 0]
+        bounds = segment_by_key_range(tree.leaf_keys, 3)
+        assert bounds == [(0, 1), (1, 1), (1, 1)]

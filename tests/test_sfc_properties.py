@@ -1,0 +1,162 @@
+"""Property tests for the SFC key layer and octree compression.
+
+The Hilbert transform (``repro.octree.sfc``) is pure bit manipulation --
+exactly the kind of code where an off-by-one in a bit plane survives
+example tests.  Hypothesis drives the three contracts everything above
+the key layer relies on:
+
+* the lattice transform is a bijection (exact round trip at every order,
+  full coverage of the ``8**order`` cells at small orders) and the curve
+  is a true Hamiltonian path (consecutive keys are face-adjacent cells);
+* sorting points by Hilbert key never loses locality versus Morton --
+  the adjacent-point distance claim the key-range partitions and the
+  halo accounting bank on;
+* :func:`repro.octree.compress.compress` changes *addressing only*:
+  identical leaf contents in identical canonical order, strictly fewer
+  levels on chain-heavy inputs, and no surviving single-child chain.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.molecule.generators import icosahedral_shell
+from repro.octree.build import build_octree
+from repro.octree.compress import compress
+from repro.octree.sfc import (SFC_KEYS, hilbert_decode_key,
+                              hilbert_encode_lattice)
+
+
+def _adjacent_distance(points: np.ndarray, curve) -> float:
+    """Mean Euclidean distance between key-order-adjacent points."""
+    lo = points.min(axis=0)
+    ext = float(max(points.max(axis=0) - lo)) or 1.0
+    keys = curve.encode(points, lo, ext)
+    order = np.argsort(keys, kind="stable")
+    steps = np.diff(points[order], axis=0)
+    return float(np.linalg.norm(steps, axis=1).mean())
+
+
+class TestHilbertBijectivity:
+    @given(seed=st.integers(min_value=0, max_value=2 ** 16),
+           order=st.integers(min_value=1, max_value=21),
+           n=st.integers(min_value=1, max_value=256))
+    @settings(max_examples=150, deadline=None)
+    def test_round_trip_is_exact(self, seed, order, n):
+        rng = np.random.default_rng(seed)
+        side = np.uint64(1) << np.uint64(order)
+        coords = rng.integers(0, int(side), size=(n, 3)).astype(np.uint64)
+        keys = hilbert_encode_lattice(coords, order)
+        back = hilbert_decode_key(keys, order)
+        np.testing.assert_array_equal(back, coords)
+
+    @given(order=st.integers(min_value=1, max_value=4))
+    @settings(max_examples=10, deadline=None)
+    def test_full_lattice_is_a_bijection(self, order):
+        """Every cell of the 2^order cube maps to a distinct key in
+        [0, 8**order) -- the transform is a permutation, not just
+        injective on sampled inputs."""
+        side = 1 << order
+        g = np.arange(side, dtype=np.uint64)
+        coords = np.stack(np.meshgrid(g, g, g, indexing="ij"),
+                          axis=-1).reshape(-1, 3)
+        keys = hilbert_encode_lattice(coords, order)
+        assert sorted(int(k) for k in keys) == list(range(side ** 3))
+
+    @given(order=st.integers(min_value=1, max_value=4))
+    @settings(max_examples=10, deadline=None)
+    def test_consecutive_keys_are_face_adjacent(self, order):
+        """The defining Hilbert property: walking the curve moves one
+        lattice step along one axis at a time (L1 distance exactly 1)."""
+        nkeys = 8 ** order
+        path = hilbert_decode_key(np.arange(nkeys, dtype=np.uint64), order)
+        l1 = np.abs(np.diff(path.astype(np.int64), axis=0)).sum(axis=1)
+        assert np.all(l1 == 1)
+
+
+class TestKeyOrderLocality:
+    @given(seed=st.integers(min_value=0, max_value=2 ** 16),
+           n=st.integers(min_value=64, max_value=512))
+    @settings(max_examples=60, deadline=None)
+    def test_hilbert_no_worse_than_morton_uniform(self, seed, n):
+        rng = np.random.default_rng(seed)
+        points = rng.uniform(-10.0, 10.0, size=(n, 3))
+        h = _adjacent_distance(points, SFC_KEYS["hilbert"])
+        m = _adjacent_distance(points, SFC_KEYS["morton"])
+        assert h <= m * (1.0 + 1e-9)
+
+    @given(seed=st.integers(min_value=0, max_value=2 ** 16),
+           n=st.integers(min_value=150, max_value=400))
+    @settings(max_examples=40, deadline=None)
+    def test_hilbert_no_worse_than_morton_shell(self, seed, n):
+        """Hollow (surface-concentrated) geometry -- the virus-capsid
+        shape the paper's large inputs have -- where Morton's octant
+        jumps are at their worst."""
+        points = icosahedral_shell(n, seed=seed).positions
+        h = _adjacent_distance(points, SFC_KEYS["hilbert"])
+        m = _adjacent_distance(points, SFC_KEYS["morton"])
+        assert h <= m * (1.0 + 1e-9)
+
+
+def _leaf_contents(tree) -> list[tuple[int, ...]]:
+    """Original point ids under each canonical leaf, in leaf order."""
+    return [tuple(tree.perm[tree.point_start[v]:tree.point_end[v]].tolist())
+            for v in tree.leaves]
+
+
+@st.composite
+def _chainy_points(draw):
+    """Point sets that force single-child chains: a tight cluster plus a
+    far outlier makes every split near the root pass the whole cluster
+    to one octant."""
+    seed = draw(st.integers(min_value=0, max_value=2 ** 16))
+    n = draw(st.integers(min_value=40, max_value=200))
+    spread = draw(st.floats(min_value=1e-3, max_value=0.1))
+    rng = np.random.default_rng(seed)
+    cluster = rng.normal(0.0, spread, size=(n, 3))
+    outlier = np.array([[50.0, 47.0, -60.0]])
+    return np.vstack([cluster, outlier])
+
+
+class TestCompressedOctree:
+    @given(points=_chainy_points(),
+           leaf_cap=st.integers(min_value=1, max_value=16),
+           sfc=st.sampled_from(["morton", "hilbert"]))
+    @settings(max_examples=50, deadline=None)
+    def test_leaf_contents_and_order_preserved(self, points, leaf_cap, sfc):
+        tree = build_octree(points, leaf_cap=leaf_cap, sfc=sfc)
+        ctree = compress(tree)
+        ctree.validate()
+        assert _leaf_contents(ctree) == _leaf_contents(tree)
+
+    @given(points=_chainy_points(),
+           leaf_cap=st.integers(min_value=1, max_value=16),
+           sfc=st.sampled_from(["morton", "hilbert"]))
+    @settings(max_examples=50, deadline=None)
+    def test_chains_removed_and_depth_strictly_drops(self, points,
+                                                     leaf_cap, sfc):
+        tree = build_octree(points, leaf_cap=leaf_cap, sfc=sfc)
+        ctree = compress(tree)
+        assert not np.any(ctree.child_count == 1)
+        # The outlier construction guarantees at least one chain, so
+        # compression must strictly reduce the level count.
+        assert np.any(tree.child_count == 1)
+        assert int(ctree.level.max()) < int(tree.level.max())
+        assert ctree.nnodes < tree.nnodes
+
+    @given(seed=st.integers(min_value=0, max_value=2 ** 16),
+           n=st.integers(min_value=1, max_value=150),
+           leaf_cap=st.integers(min_value=1, max_value=8))
+    @settings(max_examples=60, deadline=None)
+    def test_compress_is_safe_on_arbitrary_inputs(self, seed, n, leaf_cap):
+        """Uniform inputs may contain no chains at all; compress must be
+        a (possibly identity-sized) re-addressing either way."""
+        rng = np.random.default_rng(seed)
+        points = rng.uniform(-5.0, 5.0, size=(n, 3))
+        tree = build_octree(points, leaf_cap=leaf_cap, sfc="hilbert")
+        ctree = compress(tree)
+        ctree.validate()
+        assert _leaf_contents(ctree) == _leaf_contents(tree)
+        assert ctree.nnodes <= tree.nnodes
