@@ -1,4 +1,4 @@
-"""repro-verify integration for the protocol models (RV401--RV405).
+"""repro-verify integration for the protocol models (RV401--RV406).
 
 :class:`ModelChecker` runs three passes over the loaded program:
 
@@ -12,8 +12,8 @@
    from the model (see :func:`~.protocols.build_models`);
 3. **exploration** -- every applicable model is explored exhaustively;
    violations render as counterexample interleavings under RV401
-   (deadlock), RV402 (lost future), RV403 (admission bound) or RV404
-   (shm lifecycle).
+   (deadlock), RV402 (lost future), RV403 (admission bound), RV404
+   (shm lifecycle) or RV406 (router routing/donation).
 
 Models whose anchor function is absent from the program are skipped
 silently, so fixture trees and single-file runs only ever see the

@@ -164,6 +164,15 @@ def reads_attr(fn: FunctionInfo, attr: str) -> bool:
                for node in ast.walk(fn.node))
 
 
+def calls_name(fn: FunctionInfo, name: str) -> bool:
+    """Does ``fn`` call plain ``name(...)`` (an ``ast.Name`` callee --
+    module-level functions, unlike :func:`calls_method`'s attributes)?"""
+    return any(isinstance(node, ast.Call)
+               and isinstance(node.func, ast.Name)
+               and node.func.id == name
+               for node in ast.walk(fn.node))
+
+
 def raises(fn: FunctionInfo, exc_name: str) -> bool:
     for node in ast.walk(fn.node):
         if isinstance(node, ast.Raise) and node.exc is not None:

@@ -1,6 +1,6 @@
 """The serving stack's protocol models.
 
-Four models cover the moving parts PR 4/6 composed dynamically:
+Five models cover the moving parts PR 4/6/9 composed dynamically:
 
 * ``scheduler`` -- :class:`~repro.serve.scheduler.EpolServer`'s request
   path: bounded admission, dispatch (resolve / slice-failure /
@@ -13,13 +13,17 @@ Four models cover the moving parts PR 4/6 composed dynamically:
 * ``shm`` -- the per-request scratch segment of
   :meth:`~repro.serve.fleet.ProcessFleet.run_sliced`: publish, attach,
   close-before-unlink, unlink-exactly-once on every path including
-  worker crash.
+  worker crash;
+* ``cluster`` -- :class:`~repro.cluster.router.ClusterRouter`'s routing
+  tier: forward, shard bounce with propagated rejection (the client can
+  retry), and the two-range work donation that must execute every
+  donated row range exactly once before the owner reduces.
 
 Each model's guarantees are anchored to the implementation by
 :class:`~.extract.CodeFact` records.  When a fact fails, the
 conformance check reports RV405 and the builder is re-run with that
 guarantee *weakened* -- the re-explored model then exhibits the
-regression as a counterexample interleaving (RV401--RV404).
+regression as a counterexample interleaving (RV401--RV404, RV406).
 
 The models are deliberately small (2 symbolic clients, 1 worker, 1
 task): large enough that every property the tentpole names has a
@@ -302,6 +306,134 @@ def build_shm_model(weak: frozenset[str] = frozenset()) -> Model:
 
 
 # ---------------------------------------------------------------------------
+# cluster: forward -> bounce/reject -> retry; donate -> exec x2 -> reduce
+# ---------------------------------------------------------------------------
+
+def build_router_model(weak: frozenset[str] = frozenset()) -> Model:
+    """ClusterRouter's routing tier: two clients, one shard slot, and a
+    two-range work donation.
+
+    A forward either delivers into the shard's one admission slot or
+    *bounces* -- the shard refused, which from the router's seat is
+    nondeterministic.  The strong router propagates every bounce to the
+    submitting client as a rejection (the client retries once, then
+    gives up with a definite error).  Donation pops a request, executes
+    its two row ranges, then reduces.
+
+    Weakenings: ``swallow_reject`` (``_forward`` no longer re-raises the
+    shard's ``RejectedError`` -- the bounced client waits forever, a
+    lost future, RV402); ``donate_once`` (``_donate`` no longer cuts
+    disjoint ranges with ``donation_bounds`` -- a donated range can
+    execute twice, violating the exactly-once invariant behind
+    bit-identical donated energies, RV406).
+    """
+    propagate = "swallow_reject" not in weak
+    exec_cap = 1 if "donate_once" not in weak else 2
+
+    def submit(c: str) -> Transition:
+        return Transition(
+            "client-" + c, "submit", "start", "waiting",
+            update=lambda s, c=c: s.__setitem__("pending",
+                                                s["pending"] + (c,)))
+
+    def _resubmit(s: dict, c: str) -> None:
+        s["pending"] = s["pending"] + (c,)
+        s["bounced"] = s["bounced"] - {c}
+        s["retry"] = s["retry"] - {c}
+
+    def resubmit(c: str) -> Transition:
+        return Transition(
+            "client-" + c, "submit", "waiting", "waiting", detail="retry",
+            guard=lambda s, c=c: c in s["bounced"] and c in s["retry"],
+            update=lambda s, c=c: _resubmit(s, c))
+
+    def give_up(c: str) -> Transition:
+        return Transition(
+            "client-" + c, "give_up", "waiting", "rejected", internal=True,
+            guard=lambda s, c=c: c in s["bounced"] and c not in s["retry"],
+            update=lambda s, c=c: s.__setitem__("bounced",
+                                                s["bounced"] - {c}))
+
+    def wake(c: str) -> Transition:
+        return Transition(
+            "client-" + c, "wake", "waiting", "done", internal=True,
+            guard=lambda s, c=c: c in s["settled"])
+
+    def _deliver(s: dict) -> None:
+        head, s["pending"] = s["pending"][0], s["pending"][1:]
+        s["q"] = s["q"] + (head,)
+
+    def _bounce(s: dict) -> None:
+        head, s["pending"] = s["pending"][0], s["pending"][1:]
+        s["attempt"] = head
+
+    def _reject(s: dict) -> None:
+        if propagate:
+            s["bounced"] = s["bounced"] | {s["attempt"]}
+        s["attempt"] = ""
+
+    def _serve(s: dict) -> None:
+        head, s["q"] = s["q"][0], s["q"][1:]
+        s["settled"] = s["settled"] | {head}
+
+    def _start_donation(s: dict) -> None:
+        head, s["pending"] = s["pending"][0], s["pending"][1:]
+        s["donated"] = head
+        s["r1"] = s["r2"] = 0
+
+    def _finish_donation(s: dict) -> None:
+        s["settled"] = s["settled"] | {s["donated"]}
+        s["donated"] = ""
+        s["r1"] = s["r2"] = 0
+
+    transitions = [t for c in _CLIENTS
+                   for t in (submit(c), resubmit(c), give_up(c), wake(c))]
+    transitions += [
+        Transition("router", "forward", "idle", "idle", detail="deliver",
+                   guard=lambda s: bool(s["pending"])
+                   and len(s["q"]) < QUEUE_CAP,
+                   update=_deliver),
+        # The shard may refuse admission (bound hit -- from the router's
+        # seat, nondeterministic): the forward bounces.
+        Transition("router", "forward", "idle", "bouncing", detail="bounce",
+                   guard=lambda s: bool(s["pending"]), update=_bounce),
+        Transition("router", "reject", "bouncing", "idle", update=_reject),
+        Transition("shard", "serve", "serving", "serving", internal=True,
+                   guard=lambda s: bool(s["q"]), update=_serve),
+        Transition("router", "donate", "idle", "donating",
+                   guard=lambda s: bool(s["pending"]),
+                   update=_start_donation),
+        Transition("router", "exec", "donating", "donating",
+                   detail="range-1",
+                   guard=lambda s: s["r1"] < exec_cap,
+                   update=lambda s: s.__setitem__("r1", s["r1"] + 1)),
+        Transition("router", "exec", "donating", "donating",
+                   detail="range-2",
+                   guard=lambda s: s["r2"] < exec_cap,
+                   update=lambda s: s.__setitem__("r2", s["r2"] + 1)),
+        Transition("router", "reduce", "donating", "idle",
+                   guard=lambda s: s["r1"] >= 1 and s["r2"] >= 1,
+                   update=_finish_donation),
+    ]
+    return Model(
+        "cluster",
+        processes={**{"client-" + c: "start" for c in _CLIENTS},
+                   "router": "idle", "shard": "serving"},
+        final={**{"client-" + c: ("done", "rejected") for c in _CLIENTS},
+               "router": ("idle",), "shard": ("serving",)},
+        shared={"pending": (), "q": (), "settled": frozenset(),
+                "bounced": frozenset(), "retry": frozenset(_CLIENTS),
+                "attempt": "", "donated": "", "r1": 0, "r2": 0},
+        transitions=transitions,
+        invariants=[Invariant(
+            "range-once",
+            lambda s: s["r1"] <= 1 and s["r2"] <= 1,
+            "a donated row range is executed exactly once")],
+        stuck_kinds={"client-" + c: LOST_FUTURE for c in _CLIENTS},
+    )
+
+
+# ---------------------------------------------------------------------------
 # Spec registry: anchors, facts, required annotations, RV mapping
 # ---------------------------------------------------------------------------
 
@@ -437,6 +569,38 @@ SPECS: tuple[ProtocolSpec, ...] = (
         ),
         kinds={INVARIANT: "RV404", OBLIGATION: "RV404",
                DEADLOCK: "RV401"},
+    ),
+    ProtocolSpec(
+        name="cluster",
+        title="ClusterRouter routing/donation",
+        anchor=".ClusterRouter._forward",
+        build=build_router_model,
+        facts=(
+            _fact("reject-propagates", ".ClusterRouter._forward",
+                  "_forward() no longer re-raises the shard's "
+                  "RejectedError to the submitting client: a bounced "
+                  "request is silently swallowed",
+                  "swallow_reject",
+                  lambda p, fn: extract.raises(fn, "RejectedError")),
+            _fact("donation-bounds", ".ClusterRouter._donate",
+                  "_donate() no longer cuts row ranges with "
+                  "donation_bounds(): donated ranges can overlap and a "
+                  "range may execute more than once",
+                  "donate_once",
+                  lambda p, fn: extract.calls_name(fn, "donation_bounds")),
+        ),
+        marks=(
+            RequiredMark("cluster", "submit", ".ClusterRouter.submit"),
+            RequiredMark("cluster", "forward", ".ClusterRouter._forward"),
+            RequiredMark("cluster", "reject",
+                         ".ClusterRouter._shard_rejected"),
+            RequiredMark("cluster", "donate", ".ClusterRouter._donate"),
+            RequiredMark("cluster", "exec", ".ClusterRouter._donate_phase"),
+            RequiredMark("cluster", "reduce",
+                         ".ClusterRouter._donate_finish"),
+        ),
+        kinds={LOST_FUTURE: "RV402", INVARIANT: "RV406",
+               OBLIGATION: "RV406", DEADLOCK: "RV401"},
     ),
 )
 

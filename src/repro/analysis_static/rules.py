@@ -33,12 +33,16 @@ REDUCTION_HOME_FILES = (
     "parallel/procpool/backend.py",
 )
 
-#: The only file in a wall-clock-restricted role allowed to read the wall
-#: clock: the serving layer's latency instrumentation.  Everything else in
-#: ``repro/serve/`` takes timestamps through ``serve.metrics.now()`` so
-#: latency accounting stays in one auditable place (REP003 exemption).
+#: The only files in a wall-clock-restricted role allowed to read the
+#: wall clock: the serving layer's latency instrumentation and the
+#: cluster fabric's clock/traffic module.  Everything else in
+#: ``repro/serve/`` takes timestamps through ``serve.metrics.now()`` and
+#: everything else in ``repro/cluster/`` through
+#: ``cluster.metrics.cluster_now()``, so latency accounting stays in one
+#: auditable place per layer (REP003 exemption).
 CLOCK_HOME_FILES = (
     "serve/metrics.py",
+    "cluster/metrics.py",
 )
 
 #: The only production file allowed to draw random numbers (always from an
@@ -90,12 +94,14 @@ RULES: dict[str, Rule] = {r.id: r for r in (
     Rule(
         id="REP003",
         title="wall-clock call inside simulated-time or service code",
-        roles=frozenset({"simtime", "service"}),
+        roles=frozenset({"simtime", "service", "cluster"}),
         hint=("simmpi/ and cilk/ model time; use "
               "repro.runtime.clock.SimClock (ctx.advance/advance_to) "
               "instead of time.time/perf_counter/monotonic.  In "
               "repro/serve/ the latency clock lives in serve/metrics.py "
-              "only; call repro.serve.metrics.now() elsewhere"),
+              "only (call repro.serve.metrics.now() elsewhere); in "
+              "repro/cluster/ it lives in cluster/metrics.py only (call "
+              "repro.cluster.metrics.cluster_now() elsewhere)"),
     ),
     Rule(
         id="REP004",
@@ -138,7 +144,7 @@ RULES: dict[str, Rule] = {r.id: r for r in (
     Rule(
         id="REP008",
         title="unbounded blocking call in service code",
-        roles=frozenset({"service"}),
+        roles=frozenset({"service", "cluster"}),
         hint=("a Queue.get()/Event.wait()/Thread.join() with no timeout "
               "can park a serving thread forever when its peer dies; the "
               "protocol models (docs/ANALYSIS.md section 5) assume every "
@@ -172,6 +178,8 @@ def infer_roles(path: str) -> frozenset[str]:
         roles.add("simtime")
     if "serve" in parts:
         roles.add("service")
+    if "cluster" in parts:
+        roles.add("cluster")
     if "parallel" in parts:
         roles.add("parallel")
     if parts & NUMERIC_DIRS:
@@ -202,9 +210,11 @@ def is_reduction_home(path: str) -> bool:
 
 
 def is_clock_home(path: str) -> bool:
-    """Whether ``path`` is the serving layer's latency-clock module, the
-    one ``service``-role file allowed to call the wall clock (REP003
-    exemption; ``simtime`` files get no such exemption)."""
+    """Whether ``path`` is a layer's designated latency-clock module
+    (``serve/metrics.py`` for the ``service`` role, ``cluster/metrics.py``
+    for the ``cluster`` role) -- the only wall-clock-restricted files
+    allowed to call the wall clock (REP003 exemption; ``simtime`` files
+    get no such exemption)."""
     posix = PurePosixPath(path).as_posix()
     return any(posix.endswith(home) for home in CLOCK_HOME_FILES)
 

@@ -144,6 +144,14 @@ CHECKS: dict[str, Check] = {
             "repro.analysis_static.model.protocols",
         ),
         Check(
+            "RV406",
+            "model-routing",
+            "the router/donation protocol can lose or double-execute work",
+            "donated row ranges must execute exactly once and every shard "
+            "rejection must propagate to the submitting client (retry or "
+            "re-raise; never a silent drop)",
+        ),
+        Check(
             "RV501",
             "slice-chain-unproven",
             "slice row bounds are not provably a disjoint exact cover",
@@ -173,7 +181,7 @@ CHECK_FAMILIES: dict[str, tuple[str, ...]] = {
     "effects": ("RV101", "RV102"),
     "shm": ("RV201", "RV202", "RV203", "RV204", "RV205", "RV206"),
     "collectives": ("RV301", "RV302"),
-    "model": ("RV401", "RV402", "RV403", "RV404", "RV405"),
+    "model": ("RV401", "RV402", "RV403", "RV404", "RV405", "RV406"),
     "disjoint": ("RV501", "RV502", "RV503"),
 }
 

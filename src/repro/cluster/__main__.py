@@ -1,0 +1,202 @@
+"""Cluster trace replay CLI: ``python -m repro.cluster``.
+
+Replays one zipf-skewed request trace (a scaled stand-in for the
+million-request serving target) through the sharded fabric at several
+simulated node counts and writes ``BENCH_cluster.json``: per node count
+the merged serving metrics, routing/replication/donation counters, the
+byte-exact traffic ledger (every message charged through
+``NetworkSpec.p2p_cost``) and the modeled cluster throughput
+(completions over the slowest shard's busy + network seconds)::
+
+    python -m repro.cluster --requests 200 --distinct 8
+    python -m repro.cluster --node-counts 1,2,4 --backend real -P 2
+
+Two gates make the run a test, not just a benchmark: every served
+energy must be bit-identical to a cold ``driver.run()`` of the same
+molecule, and the modeled throughput must increase monotonically from
+1 to 4 nodes on the skewed workload.  The process exits non-zero if
+either fails, or if any request is lost.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from ..core.driver import PolarizationEnergyCalculator
+from ..molecule.generators import protein_blob
+from ..serve.client import ServeClient
+from ..serve.scheduler import ServeConfig
+from .metrics import cluster_now
+from .router import ClusterConfig, ClusterRouter
+from .workload import zipf_trace
+
+
+def _parse_counts(text: str) -> list[int]:
+    counts = sorted({int(part) for part in text.split(",") if part.strip()})
+    if not counts or any(c < 1 for c in counts):
+        raise argparse.ArgumentTypeError(
+            "--node-counts needs a comma list of positive ints")
+    return counts
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.cluster",
+        description="Replay a zipf-skewed E_pol request trace through the "
+                    "sharded serving fabric at several simulated node "
+                    "counts and write BENCH_cluster.json.")
+    parser.add_argument("--node-counts", type=_parse_counts,
+                        default=[1, 2, 4, 8],
+                        help="comma list of simulated node counts "
+                             "(default 1,2,4,8)")
+    parser.add_argument("--requests", type=int, default=200,
+                        help="requests per node-count column (default 200)")
+    parser.add_argument("--distinct", type=int, default=8,
+                        help="distinct molecules in the trace (default 8)")
+    parser.add_argument("--natoms", type=int, default=220,
+                        help="atoms per molecule (default 220)")
+    parser.add_argument("--zipf-s", type=float, default=1.1,
+                        help="zipf skew exponent (default 1.1)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="trace + molecule generator seed")
+    parser.add_argument("--backend", choices=("sim", "real"),
+                        default="sim",
+                        help="per-shard fleet backend (default sim)")
+    parser.add_argument("-P", "--workers", type=int, default=1,
+                        help="per-shard fleet width (default 1)")
+    parser.add_argument("--replication-factor", type=int, default=2,
+                        help="warm copies per hot molecule (default 2)")
+    parser.add_argument("--hot-top-k", type=int, default=2,
+                        help="hit-ranked molecules kept replicated "
+                             "(default 2)")
+    parser.add_argument("--promote-every", type=int, default=16,
+                        help="re-rank the hot set every N submissions")
+    parser.add_argument("--donation-depth", type=int, default=None,
+                        help="queue depth at which large requests donate "
+                             "row ranges to idle shards (default: off)")
+    parser.add_argument("--queue-cap", type=int, default=64,
+                        help="per-shard admission bound (default 64)")
+    parser.add_argument("--bench-out", default="BENCH_cluster.json")
+    args = parser.parse_args(argv)
+    if args.requests < 1 or args.distinct < 1 or args.workers < 1:
+        parser.error("--requests/--distinct/--workers must be >= 1")
+
+    molecules = [protein_blob(args.natoms, seed=args.seed + 17 * i,
+                              name=f"zipf-{i}")
+                 for i in range(args.distinct)]
+    trace = zipf_trace(args.distinct, args.requests, s=args.zipf_s,
+                       seed=args.seed)
+    print(f"workload: {args.requests} zipf(s={args.zipf_s}) requests "
+          f"over {args.distinct} molecules of {args.natoms} atoms "
+          f"(seed {args.seed})")
+
+    # The determinism oracle: one cold serial run per molecule.
+    t0 = cluster_now()
+    cold = {m.name: PolarizationEnergyCalculator(m).run().energy
+            for m in molecules}
+    print(f"cold baseline: {len(cold)} molecules in "
+          f"{cluster_now() - t0:.2f} s")
+
+    serve_cfg = ServeConfig(queue_capacity=args.queue_cap)
+    columns = []
+    mismatches = 0
+    lost = 0
+    for nodes in args.node_counts:
+        cfg = ClusterConfig(
+            nodes=nodes, backend=args.backend, workers=args.workers,
+            start_method=None,
+            replication_factor=min(args.replication_factor, nodes),
+            hot_top_k=args.hot_top_k,
+            promote_every=args.promote_every,
+            donation_saturation_depth=args.donation_depth,
+            serve=serve_cfg)
+        router = ClusterRouter(cfg)
+        with router:
+            client = ServeClient(router)
+            keys = [client.register(m) for m in molecules]
+            t1 = cluster_now()
+            # Serialized replay: awaiting each request before submitting
+            # the next keeps shard evaluations from contending for this
+            # one physical machine, so measured eval seconds stay
+            # uncontended and the *modeled* makespan (which is where the
+            # parallelism lives -- the simmpi methodology) is honest.
+            energies = []
+            for mi in trace:
+                future = client.submit(key=keys[mi], retries=sys.maxsize)
+                energies.append(future.result(timeout=600.0))
+            replay_seconds = cluster_now() - t1
+            stats = router.stats()
+        column_mismatch = sum(
+            1 for mi, energy in zip(trace, energies)
+            if energy != cold[molecules[mi].name])
+        mismatches += column_mismatch
+        lost += args.requests - stats["completed"]
+        columns.append({
+            "nodes": nodes,
+            "replay_seconds": replay_seconds,
+            "retried_rejections": client.retried_rejections,
+            "identity_mismatches": column_mismatch,
+            **stats,
+        })
+        modeled = stats["modeled"]
+        print(f"  nodes={nodes}: modeled "
+              f"{modeled['throughput_rps']:.1f} req/s "
+              f"(makespan {modeled['makespan_seconds'] * 1e3:.1f} ms), "
+              f"routed {stats['cluster']['routed']}, "
+              f"rejected {stats['cluster']['rejected']}, "
+              f"donations {stats['cluster']['donations']}, "
+              f"promotions {stats['cluster']['promotions']}, "
+              f"traffic {stats['traffic']['total_bytes']} B "
+              f"({stats['traffic']['total_seconds'] * 1e3:.2f} ms), "
+              f"identity mismatches {column_mismatch}")
+
+    # The scaling gate: modeled throughput must rise monotonically over
+    # the 1..4-node columns (8 nodes may saturate on a small trace).
+    gate = [c for c in columns if c["nodes"] <= 4]
+    rps = [c["modeled"]["throughput_rps"] for c in gate]
+    monotonic = all(b > a for a, b in zip(rps, rps[1:]))
+    record = {
+        "workload": {
+            "requests": args.requests,
+            "distinct_molecules": args.distinct,
+            "natoms": args.natoms,
+            "zipf_s": args.zipf_s,
+            "seed": args.seed,
+        },
+        "backend": args.backend,
+        "workers": args.workers,
+        "cold_energies": cold,
+        "node_counts": args.node_counts,
+        "columns": columns,
+        "monotonic_1_to_4": monotonic,
+        "identity_mismatches": mismatches,
+    }
+    with open(args.bench_out, "w") as fh:
+        json.dump(record, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {args.bench_out}")
+
+    ok = True
+    if mismatches:
+        print(f"ERROR: {mismatches} served energies differ from the cold "
+              "baseline")
+        ok = False
+    if lost:
+        print(f"ERROR: {lost} request(s) unaccounted for")
+        ok = False
+    if not monotonic and len(gate) > 1:
+        print("ERROR: modeled throughput is not monotonically increasing "
+              f"over node counts {[c['nodes'] for c in gate]}: "
+              f"{[round(r, 1) for r in rps]}")
+        ok = False
+    elif monotonic and len(gate) > 1:
+        print(f"scaling: modeled throughput {[round(r, 1) for r in rps]} "
+              f"req/s over nodes {[c['nodes'] for c in gate]} "
+              "(monotonic)")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

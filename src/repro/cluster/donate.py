@@ -1,0 +1,62 @@
+"""Donation geometry: Hilbert key ranges -> contiguous plan row ranges.
+
+Work donation ships *plan row ranges* between shards, and the ranges
+are cut along the octree's space-filling-curve keys
+(:func:`repro.octree.partition.segment_by_key_range`): plan rows are in
+canonical leaf order, so a key-interval cut is a contiguous ``[lo, hi)``
+row range whose ownership can be stated as a closed Hilbert key range --
+the same addressing PR 8 uses for per-rank tree ownership, reused here
+as the cluster's donation currency.
+
+Bit-identity is inherited, not re-proven: donated ranges execute the
+exact slice kernels of :mod:`repro.serve.sliced` with positional
+flat-CSR writes, and the owner replays the serial reduction
+(:func:`~repro.serve.sliced.reduce_born_flat`,
+:func:`~repro.serve.sliced.fold_pair_terms`), which PR 6 showed is
+invariant to where the cuts fall.  So *any* bounds produced here -- and
+any assignment of bounds to shards -- yields the cold ``driver.run()``
+energy to the last bit; the key-range snapping only affects balance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..octree.partition import (coarsen_keys, segment_by_key_range,
+                                segment_by_weight)
+from ..plan import InteractionPlan
+
+
+def plan_row_keys(plan: InteractionPlan, tree) -> np.ndarray | None:
+    """Per-plan-row SFC key: the target leaf's curve key, in plan row
+    order (non-decreasing -- rows follow canonical leaf order).
+
+    ``tree`` is the octree the plan's ``target_leaves`` index into (the
+    quad tree for Born plans, the atom tree for E_pol plans).  Returns
+    None when the tree carries no SFC keys (hand-constructed trees);
+    donation then falls back to plain weight cuts.
+    """
+    if tree.node_key is None:
+        return None
+    return tree.node_key[plan.target_leaves]
+
+
+def donation_bounds(weights: np.ndarray, keys: np.ndarray | None,
+                    nparts: int) -> list[tuple[int, int]]:
+    """Cut plan rows into at most ``nparts`` donated ranges.
+
+    With SFC ``keys``, cuts are weighted key-interval cuts snapped to
+    coarse key blocks (every range is a closed Hilbert key range);
+    without keys, plain weight-balanced cuts.  Empty ranges are dropped,
+    so the result may have fewer than ``nparts`` entries -- callers
+    assign ranges to donees in order and simply use fewer donees.
+    """
+    if nparts < 1:
+        raise ValueError("nparts must be >= 1")
+    w = np.asarray(weights, dtype=np.float64)
+    if keys is None:
+        bounds = segment_by_weight(w, nparts)
+    else:
+        bounds = segment_by_key_range(coarsen_keys(keys, nparts), nparts,
+                                      weights=w)
+    return [(int(lo), int(hi)) for lo, hi in bounds if hi > lo]

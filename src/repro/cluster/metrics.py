@@ -1,0 +1,104 @@
+"""Cluster metrics: the fabric's wall clock and the traffic ledger.
+
+This module is the cluster subsystem's **only** wall-clock reader,
+mirroring :mod:`repro.serve.metrics` one layer up: repro-lint's REP003
+gives every file under ``repro/cluster/`` the ``cluster`` role, which
+bans direct ``time.*`` calls everywhere except here (see
+:data:`repro.analysis_static.rules.CLOCK_HOME_FILES`).  The router
+injects :func:`cluster_now` into every shard's
+:class:`~repro.serve.metrics.ServeMetrics`, so all N shards timestamp
+against one clock and :func:`aggregate_metrics` merges spans that
+actually compare.
+
+:class:`TrafficLedger` is the cluster's cost model: every byte the
+router moves -- request forwards, result returns, hot-molecule replica
+pushes, donated row-range tasks and their partials -- is charged
+through :meth:`repro.parallel.machine.NetworkSpec.p2p_cost`
+(``t_s + t_w * nbytes``, the Grama-style model the paper's Section IV.C
+analysis uses).  The charged seconds accumulate per destination node,
+which is what turns measured single-process execution into the modeled
+cluster makespan the benchmark reports.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from ..analysis_static.verify.annotations import declares_effects
+from ..parallel.machine import LONESTAR4_NETWORK, NetworkSpec
+from ..serve.metrics import ServeMetrics
+
+
+@declares_effects("CLOCK")
+def cluster_now() -> float:
+    """Monotonic wall-clock seconds (the cluster fabric's one clock)."""
+    return time.perf_counter()
+
+
+class TrafficLedger:
+    """Thread-safe accounting of every byte the routing tier moves.
+
+    All cluster traffic is charged as *inter-node* messages
+    (``same_node=False``): the router models the front-end tier, so
+    even a one-shard cluster pays the wire for each forwarded request
+    -- which is exactly why the benchmark's 1-node column is an honest
+    baseline rather than a free local call.
+    """
+
+    def __init__(self, network: NetworkSpec = LONESTAR4_NETWORK) -> None:
+        self.network = network
+        self._lock = threading.Lock()
+        self._bytes: dict[str, int] = {}
+        self._messages: dict[str, int] = {}
+        self._seconds: dict[str, float] = {}
+        self._node_seconds: dict[str, float] = {}
+
+    def charge(self, node_id: str, nbytes: int, *, kind: str) -> float:
+        """Charge one message of ``nbytes`` terminating at ``node_id``;
+        returns the modeled seconds (``p2p_cost``)."""
+        seconds = self.network.p2p_cost(int(nbytes), same_node=False)
+        with self._lock:
+            self._bytes[kind] = self._bytes.get(kind, 0) + int(nbytes)
+            self._messages[kind] = self._messages.get(kind, 0) + 1
+            self._seconds[kind] = self._seconds.get(kind, 0.0) + seconds
+            self._node_seconds[node_id] = (
+                self._node_seconds.get(node_id, 0.0) + seconds)
+        return seconds
+
+    def node_seconds(self, node_id: str) -> float:
+        """Modeled network seconds charged against one node."""
+        with self._lock:
+            return self._node_seconds.get(node_id, 0.0)
+
+    def total_bytes(self) -> int:
+        with self._lock:
+            return sum(self._bytes.values())
+
+    def snapshot(self) -> dict:
+        """JSON-ready per-kind and per-node traffic totals."""
+        with self._lock:
+            return {
+                "bytes": dict(sorted(self._bytes.items())),
+                "messages": dict(sorted(self._messages.items())),
+                "seconds": dict(sorted(self._seconds.items())),
+                "node_seconds": dict(sorted(self._node_seconds.items())),
+                "total_bytes": sum(self._bytes.values()),
+                "total_seconds": sum(self._seconds.values()),
+            }
+
+
+def aggregate_metrics(parts: list[ServeMetrics], *,
+                      clock=None) -> ServeMetrics:
+    """One cluster-wide :class:`ServeMetrics` from N per-shard objects.
+
+    Left-folds :meth:`ServeMetrics.merge`: counters sum, percentile
+    samples concatenate (cluster percentiles come from the merged
+    sample, not an average of shard percentiles), span endpoints widen.
+    Only meaningful when every part shares one clock -- the router
+    constructs all shard metrics with :func:`cluster_now`.
+    """
+    merged = ServeMetrics(clock=clock if clock is not None else cluster_now)
+    for part in parts:
+        merged.merge(part)
+    return merged

@@ -1,0 +1,115 @@
+"""Consistent-hash ring: content keys -> owning shard nodes.
+
+The cluster maps each registered molecule (its
+:func:`repro.serve.registry.content_key`) onto one owning shard with the
+classic virtual-node consistent-hash construction: every node is hashed
+at ``vnodes`` points on a 64-bit ring, a key is owned by the first node
+point at or clockwise-after the key's own hash, and replicas continue
+clockwise to the next *distinct* nodes.  Two properties carry the
+design:
+
+* **balance** -- with >= 64 virtual nodes per node the largest
+  per-node share of a uniform key population concentrates near 1/N
+  (the Hypothesis suite bounds the spread);
+* **minimal remapping** -- adding or removing one node moves only the
+  keys whose owning arc changed, ~1/N of the population, so a cluster
+  resize does not restampede every warm registry.
+
+Everything is keyed by SHA-256 (:func:`ring_hash`), never Python's
+``hash()``: placement must be identical across processes and runs
+regardless of ``PYTHONHASHSEED``, because shard-local registries,
+shared-memory publications and the routing tier all have to agree on
+who owns what without talking to each other.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+
+
+def ring_hash(label: str) -> int:
+    """Deterministic 64-bit ring position of ``label`` (sha256 prefix;
+    process- and ``PYTHONHASHSEED``-independent)."""
+    digest = hashlib.sha256(label.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class HashRing:
+    """Virtual-node consistent-hash ring over a set of node ids."""
+
+    def __init__(self, node_ids: list[str] | tuple[str, ...] = (), *,
+                 vnodes: int = 64) -> None:
+        if vnodes < 1:
+            raise ValueError("vnodes must be >= 1")
+        self.vnodes = int(vnodes)
+        self._nodes: set[str] = set()
+        #: Sorted (point, node_id) pairs -- the ring itself.
+        self._points: list[tuple[int, str]] = []
+        for node_id in node_ids:
+            self.add_node(node_id)
+
+    @property
+    def nodes(self) -> list[str]:
+        """Member node ids, sorted (deterministic iteration order)."""
+        return sorted(self._nodes)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node_id: str) -> bool:
+        return node_id in self._nodes
+
+    def _node_points(self, node_id: str) -> list[tuple[int, str]]:
+        return [(ring_hash(f"{node_id}#{i}"), node_id)
+                for i in range(self.vnodes)]
+
+    def add_node(self, node_id: str) -> None:
+        """Add a node (its ``vnodes`` points) to the ring."""
+        if not node_id:
+            raise ValueError("node_id must be non-empty")
+        if node_id in self._nodes:
+            raise ValueError(f"node {node_id!r} already on the ring")
+        self._nodes.add(node_id)
+        for point in self._node_points(node_id):
+            bisect.insort(self._points, point)
+
+    def remove_node(self, node_id: str) -> None:
+        """Remove a node; its arcs fall to the clockwise successors."""
+        if node_id not in self._nodes:
+            raise KeyError(f"node {node_id!r} is not on the ring")
+        self._nodes.remove(node_id)
+        self._points = [p for p in self._points if p[1] != node_id]
+
+    def owner(self, key: str) -> str:
+        """The node owning ``key``: first node point clockwise from the
+        key's hash (wrapping)."""
+        return self.replicas(key, 1)[0]
+
+    def replicas(self, key: str, n: int) -> list[str]:
+        """The first ``min(n, len(self))`` *distinct* nodes clockwise
+        from ``key``'s hash -- owner first, then replica targets.
+
+        Deterministic in (key, membership, vnodes) alone, so every
+        router instance picks the same replica set without
+        coordination.
+        """
+        if n < 1:
+            raise ValueError("n must be >= 1")
+        if not self._points:
+            raise KeyError("ring has no nodes")
+        want = min(int(n), len(self._nodes))
+        hashes = [point for point, _ in self._points]
+        start = bisect.bisect_right(hashes, ring_hash(key))
+        chosen: list[str] = []
+        for i in range(len(self._points)):
+            node_id = self._points[(start + i) % len(self._points)][1]
+            if node_id not in chosen:
+                chosen.append(node_id)
+                if len(chosen) == want:
+                    break
+        return chosen
+
+    def ownership(self, keys: list[str]) -> dict[str, str]:
+        """Owner per key (bulk helper for remapping measurements)."""
+        return {key: self.owner(key) for key in keys}

@@ -30,9 +30,11 @@ from __future__ import annotations
 
 from .client import ServeClient, ServeFuture
 from .fleet import (EpsConfig, EvalResult, FleetError, InlineFleet,
-                    ProcessFleet, SliceError, evaluate_pipeline)
+                    ProcessFleet, SliceError, evaluate_pipeline,
+                    execute_born_rows, execute_epol_rows)
 from .metrics import ServeMetrics, latency_summary, now
-from .policy import MODE_BATCHED, MODE_SLICED, decide_mode
+from .policy import (MODE_BATCHED, MODE_DONATED, MODE_SLICED,
+                     decide_donation, decide_mode)
 from .registry import MoleculeRegistry, RegistryEntry, content_key
 from .scheduler import (EpolServer, RejectedError, ServeConfig,
                         ServerClosed)
@@ -45,6 +47,7 @@ __all__ = [
     "FleetError",
     "InlineFleet",
     "MODE_BATCHED",
+    "MODE_DONATED",
     "MODE_SLICED",
     "MoleculeRegistry",
     "ProcessFleet",
@@ -57,8 +60,11 @@ __all__ = [
     "ServerClosed",
     "SliceError",
     "content_key",
+    "decide_donation",
     "decide_mode",
     "evaluate_pipeline",
+    "execute_born_rows",
+    "execute_epol_rows",
     "fold_pair_terms",
     "latency_summary",
     "make_server",

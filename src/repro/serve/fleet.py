@@ -133,6 +133,51 @@ def evaluate_pipeline(molecule: Molecule, atoms: AtomTreeData,
                               epsilon_solvent=params.epsilon_solvent)
 
 
+def execute_born_rows(entry: RegistryEntry, cfg: "EpsConfig",
+                      bounds: list[tuple[int, int]]
+                      ) -> list[tuple[np.ndarray, np.ndarray]]:
+    """Execute Born-plan row ranges against a warm entry, returning the
+    positional flat-CSR ``(far, near)`` span pair per range.
+
+    The cluster's work-donation path runs this on *donee* shards: each
+    donated Hilbert key range maps to a contiguous plan row range, and
+    because the flat outputs are positional (span offsets come from the
+    plan's CSR starts, not execution order) the owner's serial replay of
+    :func:`~repro.serve.sliced.reduce_born_flat` is bit-identical to a
+    single-node cold run regardless of which shard computed which range.
+    """
+    plans = entry.plans_for(cfg.eps_born, cfg.eps_epol)
+    atoms = entry.calc.atom_tree()
+    quad = entry.calc.quad_tree()
+    out: list[tuple[np.ndarray, np.ndarray]] = []
+    for lo, hi in bounds:
+        f0 = int(plans.born.far_start[lo])
+        f1 = int(plans.born.far_start[hi])
+        n0 = int(plans.born.near_point_start[lo])
+        n1 = int(plans.born.near_point_start[hi])
+        far = np.zeros(f1 - f0)
+        near = np.zeros(n1 - n0)
+        execute_born_plan(plans.born, atoms, quad, row_range=(lo, hi),
+                          flat_out={"far": far, "near": near})
+        out.append((far, near))
+    return out
+
+
+def execute_epol_rows(entry: RegistryEntry, cfg: "EpsConfig",
+                      bounds: list[tuple[int, int]],
+                      born_sorted: np.ndarray
+                      ) -> list[tuple[np.ndarray, np.ndarray]]:
+    """Execute E_pol-plan row ranges against a warm entry, returning the
+    per-row ``(far_terms, near_terms)`` pair for each range (donation's
+    second phase; the owner scatters the spans positionally and reduces
+    with :func:`~repro.serve.sliced.fold_pair_terms`)."""
+    plans = entry.plans_for(cfg.eps_born, cfg.eps_epol)
+    ectx = EnergyContext.build(entry.calc.atom_tree(), born_sorted,
+                               cfg.eps_epol)
+    return [epol_row_terms(plans.epol, ectx, row_range=(lo, hi))
+            for lo, hi in bounds]
+
+
 # ----------------------------------------------------------------------
 # in-process fleet ("sim" backend)
 # ----------------------------------------------------------------------

@@ -13,12 +13,21 @@ energy path.
 :class:`ServeMetrics` is thread-safe: client threads record admissions,
 the scheduler thread records batches and completions, and
 :meth:`ServeMetrics.snapshot` may be read at any time.
+
+The clock is *injectable* (``ServeMetrics(clock=...)``): a single-node
+server defaults to :func:`now`, while the cluster fabric
+(:mod:`repro.cluster`) hands every shard's metrics the same cluster
+clock so per-shard spans are mutually coherent and
+:meth:`ServeMetrics.merge` can aggregate them into one report
+(counters summed, percentiles over the merged samples, span endpoints
+min/max across shards).
 """
 
 from __future__ import annotations
 
 import threading
 import time
+from typing import Callable
 
 from ..analysis_static.verify.annotations import declares_effects
 
@@ -52,9 +61,15 @@ def latency_summary(latencies_seconds: list[float]) -> dict[str, float]:
 
 
 class ServeMetrics:
-    """Counters + latency/batch-size samples for one server lifetime."""
+    """Counters + latency/batch-size samples for one server lifetime.
 
-    def __init__(self) -> None:
+    ``clock`` is the timestamp source every recording method reads
+    (default :func:`now`); a cluster injects one shared clock into all
+    of its shards' metrics so merged spans compare like with like.
+    """
+
+    def __init__(self, *, clock: Callable[[], float] | None = None) -> None:
+        self._clock = clock if clock is not None else now
         self._lock = threading.Lock()
         self.accepted = 0
         self.rejected = 0
@@ -69,14 +84,14 @@ class ServeMetrics:
         self._mode_failed: dict[str, int] = {}
         self._mode_latencies: dict[str, list[float]] = {}
         self._slice_counts: list[int] = []
-        self._started_at = now()
+        self._started_at = self._clock()
         self._first_submit: float | None = None
         self._first_done: float | None = None
         self._last_done: float | None = None
 
     # -- recording (each from whichever thread observes the event) ------
     def record_admission(self, accepted: bool) -> None:
-        t = now()
+        t = self._clock()
         with self._lock:
             if self._first_submit is None:
                 self._first_submit = t
@@ -92,7 +107,7 @@ class ServeMetrics:
 
     def record_done(self, latency_seconds: float, *, ok: bool,
                     mode: str = "batched", nslices: int = 1) -> None:
-        t = now()
+        t = self._clock()
         with self._lock:
             if ok:
                 self.completed += 1
@@ -108,6 +123,65 @@ class ServeMetrics:
             if self._first_done is None:
                 self._first_done = t
             self._last_done = t
+
+    # -- aggregation (cluster fabric) ------------------------------------
+    def merge(self, other: "ServeMetrics") -> "ServeMetrics":
+        """Fold ``other``'s counters and samples into ``self``.
+
+        Counters are summed, latency/batch/slice samples concatenated
+        (so percentiles are computed over the merged sample, not an
+        average of per-shard percentiles), and span endpoints widened
+        (earliest submit/done, latest done).  Meaningful only when both
+        objects share one clock -- the cluster injects a single
+        ``clock`` into every shard's metrics for exactly this reason.
+        Returns ``self`` so shards can be reduced with a left fold.
+        """
+        with other._lock:
+            counters = (other.accepted, other.rejected,
+                        other.completed, other.failed)
+            latencies = list(other._latencies)
+            batch_sizes = list(other._batch_sizes)
+            group_counts = list(other._group_counts)
+            mode_done = dict(other._mode_done)
+            mode_failed = dict(other._mode_failed)
+            mode_latencies = {m: list(v)
+                              for m, v in other._mode_latencies.items()}
+            slice_counts = list(other._slice_counts)
+            started_at = other._started_at
+            first_submit = other._first_submit
+            first_done = other._first_done
+            last_done = other._last_done
+        with self._lock:
+            self.accepted += counters[0]
+            self.rejected += counters[1]
+            self.completed += counters[2]
+            self.failed += counters[3]
+            self._latencies.extend(latencies)
+            self._batch_sizes.extend(batch_sizes)
+            self._group_counts.extend(group_counts)
+            for mode, n in mode_done.items():
+                self._mode_done[mode] = self._mode_done.get(mode, 0) + n
+            for mode, n in mode_failed.items():
+                self._mode_failed[mode] = (self._mode_failed.get(mode, 0)
+                                           + n)
+            for mode, sample in mode_latencies.items():
+                self._mode_latencies.setdefault(mode, []).extend(sample)
+            self._slice_counts.extend(slice_counts)
+            self._started_at = min(self._started_at, started_at)
+            if first_submit is not None:
+                self._first_submit = (first_submit
+                                      if self._first_submit is None
+                                      else min(self._first_submit,
+                                               first_submit))
+            if first_done is not None:
+                self._first_done = (first_done
+                                    if self._first_done is None
+                                    else min(self._first_done, first_done))
+            if last_done is not None:
+                self._last_done = (last_done
+                                   if self._last_done is None
+                                   else max(self._last_done, last_done))
+        return self
 
     # -- derived views ---------------------------------------------------
     def latency_percentiles(self, mode: str | None = None

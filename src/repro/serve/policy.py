@@ -27,6 +27,8 @@ from __future__ import annotations
 #: Routing outcomes (also the ``mode`` tag on results and metrics).
 MODE_BATCHED = "batched"
 MODE_SLICED = "sliced"
+#: Cluster outcome: row ranges fanned to idle *shards* (work donation).
+MODE_DONATED = "donated"
 
 
 def effective_threshold(threshold: float, queue_depth: int,
@@ -55,3 +57,24 @@ def decide_mode(row_weight: float, *, threshold: float | None,
                                                 queue_scale):
         return MODE_SLICED
     return MODE_BATCHED
+
+
+def decide_donation(row_weight: float, owner_depth: int, idle_nodes: int,
+                    *, saturation_depth: int | None,
+                    min_row_weight: float = 0.0) -> bool:
+    """Should the cluster donate this request's row ranges to idle
+    shards instead of queueing it on its saturated owner?
+
+    Pure, like every decision here: donate iff the owner's queue depth
+    has reached ``saturation_depth`` (``None`` disables donation), the
+    request is large enough that fan-out beats queueing
+    (``row_weight >= min_row_weight``), and at least one other shard is
+    idle enough to receive work.  Where the rows run never changes what
+    they compute -- donation reuses the sliced path's positional writes
+    and serial replay, so this is (again) purely a placement decision.
+    """
+    if saturation_depth is None:
+        return False
+    return (int(owner_depth) >= int(saturation_depth)
+            and float(row_weight) >= float(min_row_weight)
+            and int(idle_nodes) > 0)

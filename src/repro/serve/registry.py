@@ -264,6 +264,21 @@ class MoleculeRegistry:
         if self.on_evict is not None:
             self.on_evict(entry)
 
+    def evict(self, key: str) -> bool:
+        """Explicitly drop one entry (through the eviction hook).
+
+        Returns whether the key was present.  The cluster's replication
+        manager uses this to demote a replica that fell out of the hot
+        set -- same hook path as budget eviction, so the fleet's
+        shared-memory unpublish and the router's placement map stay in
+        sync no matter who initiated the drop.
+        """
+        with self._lock:
+            if key not in self._entries:
+                return False
+            self._evict(key)
+            return True
+
     def clear(self) -> None:
         """Drop every entry (each through the eviction hook)."""
         with self._lock:

@@ -223,6 +223,12 @@ class EpolServer:
             self._wakeup.notify_all()
         return req.future
 
+    def queue_depth(self) -> int:
+        """Requests admitted but not yet taken into a batch -- the
+        cluster router's saturation signal for work donation."""
+        with self._lock:
+            return len(self._pending)
+
     # -- scheduler internals ----------------------------------------------
     def _take_batch(self) -> list[_Request] | None:
         """Block for the next micro-batch; None once stopped and drained."""

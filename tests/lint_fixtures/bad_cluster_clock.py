@@ -1,0 +1,13 @@
+# repro-lint: roles=cluster
+"""REP003 cluster-role fixture: wall-clock reads outside the fabric's
+clock home (``repro/cluster/metrics.py``)."""
+
+import time
+
+
+def donation_elapsed(started_at: float) -> float:
+    return time.perf_counter() - started_at  # BAD: use cluster_now()
+
+
+def shard_heartbeat() -> float:
+    return time.monotonic()  # BAD: cluster code shares one clock

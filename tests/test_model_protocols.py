@@ -2,9 +2,10 @@
 
 Acceptance criteria covered here:
 
-* the four protocol models (scheduler, future, pool, shm) explore clean
-  against the shipped sources -- no deadlock, no lost future, no
-  admission overrun, no shm lifecycle violation;
+* the five protocol models (scheduler, future, pool, shm, cluster)
+  explore clean against the shipped sources -- no deadlock, no lost
+  future, no admission overrun, no shm lifecycle violation, no lost or
+  double-executed donated range;
 * recorded implementation traces (via ``@protocol_event`` and
   ``record_events``) are behaviours of the models -- conformance is a
   runtime test, not a promise;
@@ -34,6 +35,7 @@ from repro.analysis_static.model.protocols import (LOST_FUTURE, SPECS,
                                                    build_future_model,
                                                    build_models,
                                                    build_pool_model,
+                                                   build_router_model,
                                                    build_scheduler_model,
                                                    build_shm_model)
 from repro.analysis_static.verify import run_verify
@@ -56,6 +58,7 @@ _BUILDERS = {
     "future": build_future_model,
     "pool": build_pool_model,
     "shm": build_shm_model,
+    "cluster": build_router_model,
 }
 
 
@@ -88,6 +91,8 @@ class TestModelsExploreClean:
         ("future", "done_set", LOST_FUTURE),
         ("pool", "death_detect", "deadlock"),
         ("shm", "scratch_lifecycle", INVARIANT),
+        ("cluster", "swallow_reject", LOST_FUTURE),
+        ("cluster", "donate_once", INVARIANT),
     ])
     def test_each_weakening_has_a_counterexample(self, name, weakening,
                                                  kind):

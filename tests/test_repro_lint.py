@@ -169,6 +169,25 @@ class TestScoping:
         assert {f.rule for f in findings} == {"REP003"}
         assert all("service" in f.message for f in findings)
 
+    def test_cluster_role_inferred_for_cluster_tree(self):
+        roles = infer_roles("src/repro/cluster/router.py")
+        assert "cluster" in roles
+        assert "cluster" not in infer_roles("src/repro/serve/scheduler.py")
+
+    def test_wallclock_confined_to_cluster_metrics(self):
+        """REP003 in the fabric: only cluster/metrics.py may read the
+        wall clock; every other cluster module imports ``cluster_now``."""
+        src = "import time\nt = time.perf_counter()\n"
+        assert lint_source(src, "src/repro/cluster/metrics.py") == []
+        for module in ("ring.py", "router.py", "shard.py", "donate.py"):
+            findings = lint_source(src, f"src/repro/cluster/{module}")
+            assert [f.rule for f in findings] == ["REP003"], module
+
+    def test_cluster_fixture_fires_only_rep003(self):
+        findings = lint_paths([FIXTURES / "bad_cluster_clock.py"])
+        assert findings
+        assert {f.rule for f in findings} == {"REP003"}
+
     def test_multiprocessing_allowed_in_procpool(self):
         src = "from multiprocessing import shared_memory\n"
         assert lint_source(src, "src/repro/parallel/procpool/shm.py") == []
