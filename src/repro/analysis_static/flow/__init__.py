@@ -1,0 +1,38 @@
+"""repro-flow: shape/dtype/contiguity abstract interpretation (RV6xx).
+
+A flow-sensitive abstract interpreter over the numpy dataflow of the
+plan/kernel/serve/cluster modules.  It infers, per variable, a symbolic
+shape in plan dimensions (``nrows``, ``nnz_far``, ``npoints``...), a
+dtype from a closed promotion lattice, and a contiguity/view status,
+then checks the inferred facts against the machine-readable
+``@array_contract`` declarations stamped on the
+:class:`~repro.plan.schema.InteractionPlan` schema and on every
+executor/fleet/donation entry point:
+
+* **RV601** ``flow-shape-mismatch`` -- delivered symbolic shape
+  contradicts the callee's contract;
+* **RV602** ``flow-dtype-drift`` -- silent float32/float64 promotion or
+  a float64 -> float32 downcast on an energy path;
+* **RV603** ``flow-view-published`` -- a view-aliased/non-contiguous
+  array reaches ``SharedArrayBundle`` or a ``C``-contract;
+* **RV604** ``flow-index-width`` -- an int32 index array gathers into a
+  64-bit CSR/key array;
+* **RV605** ``flow-uncontracted-boundary`` -- arrays cross a
+  process/shm/cluster boundary without a covering contract.
+
+Run it with ``python -m repro.verify src/repro --check flow``.  See
+docs/ANALYSIS.md section 6 for the domains and the contract grammar.
+"""
+
+from .checks import ContractIndex, FlowChecker
+from .contracts import (CONTRACT_ATTR, ContractSpec, array_contract,
+                        contracts_of, dims_match, parse_spec)
+from .domain import ArrayVal, DimVal, Env, ObjVal, TupleVal, promote
+from .interp import BOUNDARY_CALLEES, FlowInterpreter
+
+__all__ = [
+    "ArrayVal", "BOUNDARY_CALLEES", "CONTRACT_ATTR", "ContractIndex",
+    "ContractSpec", "DimVal", "Env", "FlowChecker", "FlowInterpreter",
+    "ObjVal", "TupleVal", "array_contract", "contracts_of", "dims_match",
+    "parse_spec", "promote",
+]

@@ -1,0 +1,102 @@
+"""FlowChecker: the RV6xx pass over a repro-verify :class:`Program`.
+
+Builds the whole-program contract index (every ``@array_contract`` on a
+function or class, read from the AST), decides which modules sit on an
+energy path (the float64 end-to-end guarantee, RV602), and runs the
+:class:`~.interp.FlowInterpreter` over every analysed function.  The
+interpreter reports definite evidence only, so the pass is safe to run
+over the whole tree -- unknown facts never refute a contract.
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..verify.program import ModuleInfo, Program
+from ..verify.report import CheckContext
+from .contracts import ContractSpec, contracts_from_node
+from .interp import FlowInterpreter
+
+#: Module-path suffixes that are energy paths by construction even
+#: without a pure-module policy (they fold Born/E_pol float64 values).
+ENERGY_PATH_SUFFIXES: tuple[str, ...] = (
+    "repro/serve/sliced.py",
+    "repro/core/born.py",
+    "repro/core/epol.py",
+)
+
+_DIM_SYM_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*")
+
+
+class ContractIndex:
+    """qualname -> contract table, plus the per-class dim vocabulary."""
+
+    def __init__(self, program: Program) -> None:
+        self.functions: dict[str, dict[str, ContractSpec]] = {}
+        self.classes: dict[str, dict[str, ContractSpec]] = {}
+        #: class qualname -> dimension symbols its contracts mention
+        #: (attribute reads of these names yield DimVal facts).
+        self.class_dims: dict[str, frozenset[str]] = {}
+        #: (modname, lineno, qualname, message) per malformed decorator.
+        self.errors: list[tuple[str, int, str, str]] = []
+        for qual, fn in program.functions.items():
+            table, err = contracts_from_node(fn.node)
+            if err is not None:
+                self.errors.append((fn.modname, fn.lineno, qual, err))
+            elif table:
+                self.functions[qual] = table
+        for qual, cls in program.classes.items():
+            table, err = contracts_from_node(cls.node)
+            if err is not None:
+                self.errors.append((cls.modname, cls.lineno, qual, err))
+            elif table:
+                self.classes[qual] = table
+                self.class_dims[qual] = _dim_vocabulary(table)
+
+
+def _dim_vocabulary(table: dict[str, ContractSpec]) -> frozenset[str]:
+    syms: set[str] = set()
+    for spec in table.values():
+        for dim in (*spec.shape, *spec.dims):
+            m = _DIM_SYM_RE.match(dim)
+            if m:
+                syms.add(m.group(0))
+    return frozenset(syms)
+
+
+class FlowChecker:
+    """Entry point called by :func:`repro.analysis_static.verify.run_verify`."""
+
+    def __init__(self, program: Program) -> None:
+        self.program = program
+        self.index = ContractIndex(program)
+
+    def _is_energy_path(self, mod: ModuleInfo) -> bool:
+        if mod.is_pure_policy() or "energy-path" in mod.policies:
+            return True
+        posix = mod.path.as_posix()
+        return any(posix.endswith(sfx) for sfx in ENERGY_PATH_SUFFIXES)
+
+    def run_checks(self, ctx: CheckContext) -> None:
+        for modname, lineno, qual, message in sorted(self.index.errors):
+            mod = self.program.modules.get(modname)
+            if mod is None:
+                continue
+            ctx.emit("RV601", str(mod.path), lineno, 1, qual,
+                     f"malformed @array_contract on {qual}: {message}")
+        for qual in sorted(self.program.functions):
+            fn = self.program.functions[qual]
+            mod = self.program.modules.get(fn.modname)
+            if mod is None:
+                continue
+            path = str(mod.path)
+
+            def emit(check: str, line: int, col: int, message: str,
+                     _path: str = path, _qual: str = qual) -> None:
+                ctx.emit(check, _path, line, col, _qual, message)
+
+            FlowInterpreter(
+                self.program, self.index, fn,
+                energy_path=self._is_energy_path(mod),
+                emit=emit,
+            ).run()

@@ -1,0 +1,141 @@
+"""Abstract domains for repro-flow (see docs/ANALYSIS.md section 6).
+
+Three facts per array value, each a small lattice with an explicit
+``unknown`` top that never refutes a contract:
+
+* **shape** -- a tuple of symbolic dimensions over the plan vocabulary
+  (``nrows``, ``nnz_far``, ``npoints``, integer literals, ``?``).
+  Dimensions enter the analysis only through contracts (a
+  ``dims:``-spec return binding, an attribute read of a contracted
+  dataclass, an integer literal) -- a bare local variable name is
+  *never* promoted to a dimension symbol, so two facts compare equal
+  only when they provably denote the same quantity.
+* **dtype** -- the closed promotion lattice below, mirroring numpy's
+  rules for the dtypes the pipeline uses.  ``promote`` is total;
+  ``unknown`` absorbs.
+* **contiguity** -- ``C`` (freshly allocated, owns its buffer),
+  ``view`` (a basic-slice/transpose/broadcast alias of another array)
+  or ``?``.
+
+Everything here is pure data -- the transfer functions live in
+:mod:`.transfer`, the statement walk in :mod:`.interp`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+UNKNOWN = "?"
+
+#: Contiguity lattice elements.
+CONTIG = "C"
+VIEW = "view"
+
+#: Integer dtypes (index arithmetic, RV604).
+INT_DTYPES = frozenset({"bool", "int32", "int64", "uint64"})
+#: Floating dtypes (energy values, RV602).
+FLOAT_DTYPES = frozenset({"float32", "float64"})
+
+#: Width in bits of each integer dtype (int32/int64 mixing is the RV604
+#: seam; bool is 8 but never an index width concern).
+INT_WIDTH = {"bool": 8, "int32": 32, "int64": 64, "uint64": 64}
+
+_RANK = {"bool": 0, "int32": 1, "int64": 2, "uint64": 2,
+         "float32": 3, "float64": 4}
+
+
+def promote(a: str, b: str) -> str:
+    """Numpy-style result dtype of combining ``a`` and ``b``; ``?``
+    absorbs.  The one non-monotone numpy rule the pipeline can hit --
+    ``int64 (+) float32 -> float64`` -- is modelled explicitly."""
+    if a == UNKNOWN or b == UNKNOWN:
+        return UNKNOWN
+    if a == b:
+        return a
+    ra, rb = _RANK.get(a), _RANK.get(b)
+    if ra is None or rb is None:
+        return UNKNOWN
+    lo, hi = (a, b) if ra <= rb else (b, a)
+    # 64-bit integers do not fit float32: numpy widens to float64.
+    if hi == "float32" and lo in ("int64", "uint64"):
+        return "float64"
+    if {a, b} == {"int64", "uint64"}:
+        return "float64"  # numpy has no common integer type for these
+    return hi
+
+
+@dataclass(frozen=True)
+class ArrayVal:
+    """Abstract array: symbolic shape, dtype, contiguity, provenance."""
+
+    shape: tuple[str, ...] | None = None  # None == rank unknown
+    dtype: str = UNKNOWN
+    contig: str = UNKNOWN
+    #: True when the fact came from (or through) an @array_contract.
+    contracted: bool = False
+    #: Line the value was created on (finding anchor for derived facts).
+    origin: int = 0
+
+    def with_(self, **kw) -> "ArrayVal":
+        return replace(self, **kw)
+
+    def dim(self, axis: int = 0) -> str:
+        if self.shape is None or axis >= len(self.shape):
+            return UNKNOWN
+        return self.shape[axis]
+
+
+@dataclass(frozen=True)
+class DimVal:
+    """Abstract Python int carrying a symbolic dimension expression."""
+
+    expr: str = UNKNOWN
+
+
+@dataclass(frozen=True)
+class ObjVal:
+    """Instance of a contracted class (attribute reads yield facts)."""
+
+    class_qual: str
+
+
+@dataclass(frozen=True)
+class TupleVal:
+    """Fixed-arity tuple of abstract values (``dims:`` returns,
+    parallel assignment)."""
+
+    items: tuple = ()
+
+
+@dataclass
+class Env:
+    """One flow-sensitive binding environment (variable -> fact)."""
+
+    vars: dict = field(default_factory=dict)
+
+    def copy(self) -> "Env":
+        return Env(vars=dict(self.vars))
+
+    def get(self, name: str):
+        return self.vars.get(name)
+
+    def set(self, name: str, value) -> None:
+        if value is None:
+            self.vars.pop(name, None)
+        else:
+            self.vars[name] = value
+
+    def merge(self, other: "Env") -> "Env":
+        """Join of two branch environments: keep only bindings both
+        branches agree on (anything else becomes unknown-by-absence)."""
+        out = {}
+        for name, val in self.vars.items():
+            if other.vars.get(name) == val:
+                out[name] = val
+        return Env(vars=out)
+
+
+def shape_str(shape: tuple[str, ...] | None) -> str:
+    if shape is None:
+        return "(?)"
+    return "(" + ", ".join(shape) + ("," if len(shape) == 1 else "") + ")"

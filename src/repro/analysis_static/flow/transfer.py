@@ -1,0 +1,204 @@
+"""Numpy-operation transfer functions for the repro-flow interpreter.
+
+One table entry per numpy callable the pipeline uses, keyed by the
+call's last name component (``zeros`` for ``np.zeros``).  A handler
+maps the *abstract* arguments to an abstract result --
+``np.zeros(far_total)`` becomes an ``(nnz_far,) float64 C`` array when
+``far_total`` is bound to the ``nnz_far`` dimension symbol -- and
+returns ``None`` when nothing useful is decidable (the interpreter
+then drops to unknown rather than guessing).
+
+Handlers receive the :class:`ast.Call` node plus the interpreter's
+evaluator facade (``ev.value``/``ev.dim``/``ev.dtype_ast``), so each
+stays a few lines of shape algebra.  Everything conservative: a
+handler asserts a fact only when the inputs carry it.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Callable
+
+from .domain import CONTIG, UNKNOWN, VIEW, ArrayVal, promote
+
+#: Dtype aliases as they appear in source (``np.float32``, ``"f8"``...).
+_DTYPE_ALIASES = {
+    "float64": "float64", "double": "float64", "f8": "float64",
+    "float32": "float32", "single": "float32", "f4": "float32",
+    "float16": "float32", "half": "float32",
+    "int64": "int64", "i8": "int64", "intp": "int64",
+    "int32": "int32", "i4": "int32", "intc": "int32",
+    "uint64": "uint64", "u8": "uint64",
+    "bool": "bool", "bool_": "bool",
+    "float": "float64", "int": "int64",
+}
+
+
+def dtype_from_ast(expr: ast.expr | None) -> str:
+    """Dtype named by a ``dtype=`` argument expression, or ``?``."""
+    if expr is None:
+        return UNKNOWN
+    if isinstance(expr, ast.Constant) and isinstance(expr.value, str):
+        return _DTYPE_ALIASES.get(expr.value.strip().lower(), UNKNOWN)
+    if isinstance(expr, ast.Attribute):
+        return _DTYPE_ALIASES.get(expr.attr, UNKNOWN)
+    if isinstance(expr, ast.Name):
+        return _DTYPE_ALIASES.get(expr.id, UNKNOWN)
+    return UNKNOWN
+
+
+def _kw(call: ast.Call, name: str) -> ast.expr | None:
+    for kw in call.keywords:
+        if kw.arg == name:
+            return kw.value
+    return None
+
+
+def _shape_from_arg(call: ast.Call, ev) -> tuple[str, ...] | None:
+    """Symbolic shape tuple from a constructor's shape argument."""
+    if not call.args:
+        return None
+    arg = call.args[0]
+    if isinstance(arg, ast.Tuple):
+        return tuple(ev.dim(e) for e in arg.elts)
+    return (ev.dim(arg),)
+
+
+def _alloc(call: ast.Call, ev, *, default_dtype: str) -> ArrayVal:
+    dtype = dtype_from_ast(_kw(call, "dtype"))
+    if dtype == UNKNOWN:
+        dtype = default_dtype
+    return ArrayVal(shape=_shape_from_arg(call, ev), dtype=dtype,
+                    contig=CONTIG, origin=call.lineno)
+
+
+def _zeros(call: ast.Call, ev) -> ArrayVal:
+    return _alloc(call, ev, default_dtype="float64")
+
+
+def _arange(call: ast.Call, ev) -> ArrayVal:
+    dtype = dtype_from_ast(_kw(call, "dtype"))
+    if dtype == UNKNOWN:
+        dtype = "int64" if all(
+            isinstance(a, ast.Constant) and isinstance(a.value, int)
+            for a in call.args) and call.args else UNKNOWN
+    shape = (ev.dim(call.args[0]),) if len(call.args) == 1 else None
+    return ArrayVal(shape=shape, dtype=dtype, contig=CONTIG,
+                    origin=call.lineno)
+
+
+def _like(call: ast.Call, ev) -> ArrayVal | None:
+    src = ev.value(call.args[0]) if call.args else None
+    if not isinstance(src, ArrayVal):
+        return None
+    dtype = dtype_from_ast(_kw(call, "dtype"))
+    return ArrayVal(shape=src.shape,
+                    dtype=dtype if dtype != UNKNOWN else src.dtype,
+                    contig=CONTIG, contracted=src.contracted,
+                    origin=call.lineno)
+
+
+def _asarray(call: ast.Call, ev) -> ArrayVal | None:
+    """``np.asarray`` passes an already-conforming array through
+    *including its view-ness*; an explicit dtype conversion allocates."""
+    src = ev.value(call.args[0]) if call.args else None
+    dtype = dtype_from_ast(_kw(call, "dtype"))
+    if not isinstance(src, ArrayVal):
+        if dtype == UNKNOWN:
+            return None
+        return ArrayVal(dtype=dtype, origin=call.lineno)
+    if dtype == UNKNOWN or dtype == src.dtype:
+        return src.with_(origin=call.lineno)
+    return src.with_(dtype=dtype, contig=CONTIG, origin=call.lineno)
+
+
+def _ascontiguous(call: ast.Call, ev) -> ArrayVal | None:
+    src = ev.value(call.args[0]) if call.args else None
+    dtype = dtype_from_ast(_kw(call, "dtype"))
+    if not isinstance(src, ArrayVal):
+        return ArrayVal(dtype=dtype, contig=CONTIG, origin=call.lineno)
+    return src.with_(dtype=dtype if dtype != UNKNOWN else src.dtype,
+                     contig=CONTIG, origin=call.lineno)
+
+
+def _array(call: ast.Call, ev) -> ArrayVal | None:
+    out = _asarray(call, ev)
+    # np.array copies by default: always a fresh contiguous buffer.
+    return None if out is None else out.with_(contig=CONTIG)
+
+
+def _diff(call: ast.Call, ev) -> ArrayVal | None:
+    src = ev.value(call.args[0]) if call.args else None
+    if not isinstance(src, ArrayVal):
+        return None
+    shape = None
+    if src.shape is not None and len(src.shape) == 1:
+        shape = (ev.dim_minus_one(src.shape[0]),)
+    return ArrayVal(shape=shape, dtype=src.dtype, contig=CONTIG,
+                    contracted=src.contracted, origin=call.lineno)
+
+
+def _elementwise(call: ast.Call, ev) -> ArrayVal | None:
+    """Shape/dtype-preserving ufuncs that allocate a fresh result."""
+    src = ev.value(call.args[0]) if call.args else None
+    if not isinstance(src, ArrayVal):
+        return None
+    return src.with_(contig=CONTIG, origin=call.lineno)
+
+
+def _float_elementwise(call: ast.Call, ev) -> ArrayVal | None:
+    src = ev.value(call.args[0]) if call.args else None
+    if not isinstance(src, ArrayVal):
+        return None
+    dtype = src.dtype if src.dtype in ("float32", "float64") else (
+        UNKNOWN if src.dtype == UNKNOWN else "float64")
+    return ArrayVal(shape=src.shape, dtype=dtype, contig=CONTIG,
+                    contracted=src.contracted, origin=call.lineno)
+
+
+def _concatenate(call: ast.Call, ev) -> ArrayVal | None:
+    parts: list[ArrayVal] = []
+    if call.args and isinstance(call.args[0], (ast.Tuple, ast.List)):
+        for e in call.args[0].elts:
+            v = ev.value(e)
+            if isinstance(v, ArrayVal):
+                parts.append(v)
+    dtype = UNKNOWN
+    for p in parts:
+        dtype = p.dtype if dtype == UNKNOWN else promote(dtype, p.dtype)
+    return ArrayVal(dtype=dtype, contig=CONTIG, origin=call.lineno)
+
+
+def _searchsorted(call: ast.Call, ev) -> ArrayVal:
+    return ArrayVal(dtype="int64", contig=CONTIG, origin=call.lineno)
+
+
+def _where_nonzero(call: ast.Call, ev) -> ArrayVal:
+    return ArrayVal(dtype="int64", contig=CONTIG, origin=call.lineno)
+
+
+def _broadcast_to(call: ast.Call, ev) -> ArrayVal | None:
+    src = ev.value(call.args[0]) if call.args else None
+    dtype = src.dtype if isinstance(src, ArrayVal) else UNKNOWN
+    return ArrayVal(dtype=dtype, contig=VIEW, origin=call.lineno)
+
+
+#: Last-name -> transfer function.  Anything absent falls to unknown.
+NUMPY_TRANSFER: dict[str, Callable[[ast.Call, object], ArrayVal | None]] = {
+    "zeros": _zeros, "ones": _zeros, "empty": _zeros, "full": _zeros,
+    "zeros_like": _like, "ones_like": _like, "empty_like": _like,
+    "full_like": _like,
+    "arange": _arange,
+    "asarray": _asarray, "ascontiguousarray": _ascontiguous,
+    "array": _array,
+    "diff": _diff,
+    "cumsum": _elementwise, "sort": _elementwise, "copy": _elementwise,
+    "abs": _elementwise, "minimum": _elementwise, "maximum": _elementwise,
+    "sqrt": _float_elementwise, "exp": _float_elementwise,
+    "log": _float_elementwise,
+    "concatenate": _concatenate, "hstack": _concatenate,
+    "stack": _concatenate, "vstack": _concatenate,
+    "searchsorted": _searchsorted, "argsort": _where_nonzero,
+    "flatnonzero": _where_nonzero,
+    "broadcast_to": _broadcast_to,
+}

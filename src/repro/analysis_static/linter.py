@@ -140,6 +140,7 @@ class _Visitor(ast.NodeVisitor):
         self._random_aliases: set[str] = set()
         self._random_from: dict[str, str] = {}
         self._nprandom_from: dict[str, str] = {}
+        self._chain_seen: set[int] = set()
 
     def _emit(self, rule_id: str, node: ast.AST, message: str) -> None:
         if not self.active.get(rule_id, False):
@@ -331,6 +332,51 @@ class _Visitor(ast.NodeVisitor):
         self._emit("REP008", node,
                    f"unbounded blocking .{func.attr}() in service code "
                    "(no timeout)")
+
+    # -- multiplicative literal chains (REP009) ------------------------
+    def visit_BinOp(self, node: ast.BinOp) -> None:
+        self._check_literal_chain(node)
+        self.generic_visit(node)
+
+    def _check_literal_chain(self, node: ast.BinOp) -> None:
+        """REP009: a ``*``/``/`` chain mixing a non-literal operand with
+        two or more bare numeric literals (``x * 1 / 3``).  NumPy applies
+        its promotion rules once per scalar op, so the intermediate's
+        dtype -- not the kernel author -- decides the result type.  Only
+        the chain root is checked; nested sub-chains are part of it."""
+        if not isinstance(node.op, (ast.Mult, ast.Div)):
+            return
+        if id(node) in self._chain_seen:
+            return
+
+        leaves: list[ast.expr] = []
+
+        def collect(n: ast.expr) -> None:
+            if isinstance(n, ast.BinOp) and isinstance(n.op,
+                                                       (ast.Mult, ast.Div)):
+                self._chain_seen.add(id(n))
+                collect(n.left)
+                collect(n.right)
+            else:
+                leaves.append(n)
+
+        collect(node)
+
+        def bare_literal(n: ast.expr) -> bool:
+            if isinstance(n, ast.UnaryOp) and isinstance(n.op,
+                                                         (ast.USub, ast.UAdd)):
+                n = n.operand
+            return (isinstance(n, ast.Constant)
+                    and isinstance(n.value, (int, float))
+                    and not isinstance(n.value, bool))
+
+        literals = [n for n in leaves if bare_literal(n)]
+        if len(literals) >= 2 and len(literals) < len(leaves):
+            text = ", ".join(ast.unparse(n) for n in literals)
+            self._emit("REP009", node,
+                       f"bare numeric literals ({text}) chained through "
+                       "*// with a non-literal operand promote "
+                       "per-intermediate")
 
     # -- bare for-loops (REP002 rank reductions, REP006 leaf loops) ----
     def visit_For(self, node: ast.For) -> None:

@@ -1,4 +1,4 @@
-"""Symbolic slice-disjointness proofs (RV501--RV503).
+"""Symbolic slice-disjointness proofs (RV501--RV504).
 
 The sliced serving path (PR 6) is race-free because three facts compose:
 
@@ -18,6 +18,17 @@ The sliced serving path (PR 6) is race-free because three facts compose:
    ``A[0] == 0``; that is precisely what
    ``InteractionPlan.validate()`` rejects at runtime, so the axiom is a
    checked precondition, not a hope.
+4. **donation cover** (RV504) -- the cluster donation path
+   (``cluster/donate.py::donation_bounds``) cuts plan rows along
+   coarsened SFC keys.  It is a chain for the same reason ``slice_bounds``
+   is: ``segment_by_key_range`` re-folds a verified
+   ``segment_by_weight`` chain with forward key snapping (``end =
+   max(snap, start)`` keeps ends monotone, the final cut is re-forced to
+   ``n``), and ``donation_bounds`` only guards ``nparts`` and filters
+   empty ranges (``hi > lo``).  So donated cuts are pairwise disjoint
+   and exactly cover ``[0, nrows)`` -- the static twin of the runtime
+   RV406 model invariant ("every plan row donated exactly once"), which
+   the protocol model checker exercises dynamically.
 
 This module verifies each fact *structurally* on the AST -- the loop
 really appends ``(start, end)`` and rebinds ``start = end``, the span
@@ -308,6 +319,125 @@ def verify_span_pairing(fn: FunctionInfo) -> tuple[bool, str]:
 
 
 # ---------------------------------------------------------------------------
+# Lemma 4 (RV504): the donation cover
+# ---------------------------------------------------------------------------
+
+def _calls(fn: FunctionInfo, callee: str) -> list[ast.Call]:
+    """All calls to ``callee`` by last name (``f(...)`` or ``m.f(...)``)."""
+    return [node for node in ast.walk(fn.node)
+            if isinstance(node, ast.Call)
+            and (_is_name(node.func, callee)
+                 or (isinstance(node.func, ast.Attribute)
+                     and node.func.attr == callee))]
+
+
+def _empty_filter_comp(fn: FunctionInfo) -> bool:
+    """A comprehension whose only guard is a ``hi > lo`` name compare --
+    the shape that drops empty segments without touching the chain."""
+    for node in ast.walk(fn.node):
+        if not isinstance(node, ast.ListComp):
+            continue
+        for gen in node.generators:
+            for cond in gen.ifs:
+                if (isinstance(cond, ast.Compare)
+                        and len(cond.ops) == 1
+                        and isinstance(cond.ops[0], ast.Gt)
+                        and isinstance(cond.left, ast.Name)
+                        and isinstance(cond.comparators[0], ast.Name)):
+                    return True
+    return False
+
+
+def verify_segment_by_key_range(fn: FunctionInfo) -> tuple[bool, str]:
+    """The key-interval cutter must preserve the chain it re-folds: a
+    non-decreasing key precondition, forward snapping via
+    ``np.searchsorted(..., side="right")``, ends clamped below by
+    ``start`` (monotone under snapping), the final cut re-forced to
+    ``n`` (coverage), on top of a ``segment_by_weight`` delegation and
+    the append/rebind fold."""
+    if not _calls(fn, "segment_by_weight"):
+        return False, "raw cuts do not come from segment_by_weight"
+    sorted_guard = any(
+        isinstance(node, ast.Compare) and len(node.ops) == 1
+        and isinstance(node.ops[0], ast.Lt)
+        and isinstance(node.left, ast.Subscript)
+        and isinstance(node.comparators[0], ast.Subscript)
+        for node in ast.walk(fn.node))
+    if not sorted_guard:
+        return False, "keys are not checked non-decreasing " \
+            "(`k[1:] < k[:-1]` guard missing): snapping needs sorted keys"
+    snap_forward = any(
+        any(kw.arg == "side" and isinstance(kw.value, ast.Constant)
+            and kw.value.value == "right" for kw in call.keywords)
+        for call in _calls(fn, "searchsorted"))
+    if not snap_forward:
+        return False, "cuts are not snapped forward to the next key " \
+            "change (`np.searchsorted(..., side=\"right\")` missing)"
+    monotone_end = any(
+        isinstance(node, ast.Assign)
+        and any(_is_name(t, "end") for t in node.targets)
+        and isinstance(node.value, ast.Call)
+        and _is_name(node.value.func, "max")
+        and any(_is_name(a, "start") for a in node.value.args)
+        for node in ast.walk(fn.node))
+    if not monotone_end:
+        return False, "snapped end is not clamped below by start " \
+            "(`end = max(end, start)`): backward snaps would overlap"
+    forced_last = any(
+        isinstance(node, ast.Assign)
+        and any(isinstance(t, ast.Subscript)
+                and isinstance(t.slice, ast.UnaryOp)
+                and isinstance(t.slice.op, ast.USub)
+                and isinstance(t.slice.operand, ast.Constant)
+                and t.slice.operand.value == 1
+                for t in node.targets)
+        and isinstance(node.value, ast.Tuple)
+        and len(node.value.elts) == 2
+        and _is_name(node.value.elts[1], "n")
+        for node in ast.walk(fn.node))
+    if not forced_last:
+        return False, "final cut is not re-forced to n " \
+            "(`bounds[-1] = (bounds[-1][0], n)`): snapping the last " \
+            "interior cut past n-1 would truncate coverage"
+    return _chain_loop(fn)
+
+
+def verify_donation_bounds(fn: FunctionInfo) -> tuple[bool, str]:
+    """``donation_bounds`` may only *select a verified chain* and filter
+    empty ranges: a ``nparts`` guard, the keys-None fallback to
+    ``segment_by_weight``, the keyed path through
+    ``segment_by_key_range`` over ``coarsen_keys`` blocks, and a
+    ``hi > lo`` comprehension.  Any arithmetic on the bounds themselves
+    would break the exact cover the donees rely on."""
+    guard = any(
+        isinstance(node, ast.If)
+        and isinstance(node.test, ast.Compare)
+        and len(node.test.ops) == 1
+        and isinstance(node.test.ops[0], ast.Lt)
+        and _is_name(node.test.left, "nparts")
+        and any(isinstance(s, ast.Raise) for s in node.body)
+        for node in ast.walk(fn.node))
+    if not guard:
+        return False, "no `if nparts < 1: raise` guard: zero parts " \
+            "would yield an empty (non-covering) cut list"
+    if not _calls(fn, "segment_by_weight"):
+        return False, "keys-None fallback does not delegate to " \
+            "segment_by_weight"
+    keyed = [call for call in _calls(fn, "segment_by_key_range")
+             if call.args and isinstance(call.args[0], ast.Call)
+             and (_is_name(call.args[0].func, "coarsen_keys")
+                  or (isinstance(call.args[0].func, ast.Attribute)
+                      and call.args[0].func.attr == "coarsen_keys"))]
+    if not keyed:
+        return False, "keyed path does not cut coarsen_keys(...) blocks " \
+            "via segment_by_key_range"
+    if not _empty_filter_comp(fn):
+        return False, "no empty-range filter (`if hi > lo`) over the " \
+            "chain; any other transform could break disjointness"
+    return True, ""
+
+
+# ---------------------------------------------------------------------------
 # Lemma 3: the monotone-CSR axiom
 # ---------------------------------------------------------------------------
 
@@ -358,6 +488,10 @@ _LEMMAS = (
      verify_span_pairing),
     ("RV503", "axiom:monotone-csr", ".InteractionPlan.validate",
      verify_monotone_axiom),
+    ("RV504", "donation:key-range-chain", ".segment_by_key_range",
+     verify_segment_by_key_range),
+    ("RV504", "donation:bounds-filter", ".donation_bounds",
+     verify_donation_bounds),
 )
 
 
@@ -376,7 +510,7 @@ def prove(program: Program) -> list[ProofStep]:
 
 
 class DisjointProver:
-    """repro-verify checker facade over :func:`prove` (RV501--RV503)."""
+    """repro-verify checker facade over :func:`prove` (RV501--RV504)."""
 
     def __init__(self, program: Program) -> None:
         self.program = program

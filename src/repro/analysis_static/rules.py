@@ -151,6 +151,17 @@ RULES: dict[str, Rule] = {r.id: r for r in (
               "wait is bounded -- pass timeout=... (hoist the constant "
               "into ServeConfig) and handle the timeout path"),
     ),
+    Rule(
+        id="REP009",
+        title="bare numeric-literal chain in kernel arithmetic",
+        roles=frozenset({"kernel", "executor"}),
+        hint=("a multiplicative chain mixing an array with several bare "
+              "numeric literals (e.g. `x * 1 / 3`) evaluates one scalar "
+              "op at a time, re-applying NumPy's promotion rules at each "
+              "intermediate; fold the literals into one named float64 "
+              "constant (e.g. `THIRD = 1.0 / 3.0`) so the kernel issues "
+              "a single well-typed multiply"),
+    ),
 )}
 
 

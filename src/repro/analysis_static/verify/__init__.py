@@ -1,6 +1,6 @@
 """repro-verify: whole-program static verification (see docs/ANALYSIS.md).
 
-Five analyses over one shared program model:
+Six analyses over one shared program model:
 
 * :mod:`.effects`     -- interprocedural effect inference (RV101/RV102)
 * :mod:`.typestate`   -- shared-memory segment protocol (RV201..RV206)
@@ -8,7 +8,9 @@ Five analyses over one shared program model:
 * :mod:`repro.analysis_static.model.checks`   -- protocol model
   checking with counterexample interleavings (RV401..RV405)
 * :mod:`repro.analysis_static.model.disjoint` -- symbolic
-  slice-disjointness proofs (RV501..RV503)
+  slice-disjointness proofs (RV501..RV504)
+* :mod:`repro.analysis_static.flow`           -- shape/dtype/contiguity
+  abstract interpretation against @array_contract (RV601..RV605)
 
 plus :mod:`.annotations` (the runtime ``@declares_effects`` decorator)
 and :mod:`.report` (catalogue, suppressions, renderers).
@@ -89,15 +91,17 @@ def run_verify(
     effects.run_checks(ctx)
     TypestateChecker(program).run_checks(ctx)
     CollectiveChecker(program, effects).run_checks(ctx)
-    # Imported lazily: the model package both *analyses* this package's
-    # program model and *provides* the runtime @protocol_event decorator
-    # that analysed modules import -- a top-level import here would close
-    # that cycle during package init.
+    # Imported lazily: the model and flow packages both *analyse* this
+    # package's program model and *provide* runtime decorators
+    # (@protocol_event, @array_contract) that analysed modules import --
+    # a top-level import here would close that cycle during package init.
+    from ..flow.checks import FlowChecker
     from ..model.checks import ModelChecker
     from ..model.disjoint import DisjointProver
 
     ModelChecker(program).run_checks(ctx)
     DisjointProver(program).run_checks(ctx)
+    FlowChecker(program).run_checks(ctx)
 
     for mod in program.modules.values():
         covers, bad = parse_allows(mod.lines)

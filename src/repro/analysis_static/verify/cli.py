@@ -23,7 +23,8 @@ def _build_parser() -> argparse.ArgumentParser:
         description=(
             "repro-verify: whole-program effect inference, shared-memory "
             "typestate, static collective-matching, protocol model "
-            "checking and slice-disjointness proofs (RV001..RV503)."))
+            "checking, slice-disjointness proofs and shape/dtype/"
+            "contiguity flow analysis (RV001..RV605)."))
     parser.add_argument("paths", nargs="*", default=["src"],
                         help="files or directories to verify (default: src)")
     parser.add_argument("--format", choices=("text", "json", "sarif"),

@@ -173,6 +173,52 @@ CHECKS: dict[str, Check] = {
             "InteractionPlan.validate() must reject np.diff(start) < 0 and "
             "start[0] != 0 -- the precondition of the span-image proof",
         ),
+        Check(
+            "RV504",
+            "donation-cover-unproven",
+            "donated key-range cuts are not provably a disjoint exact cover",
+            "donation_bounds must keep the guarded delegation shape "
+            "(nparts guard; coarsen_keys; segment_by_key_range snap-forward "
+            "with the final cut forced to n; empty ranges dropped by hi > "
+            "lo) -- the code facts behind the RV406 exactly-once invariant",
+        ),
+        Check(
+            "RV601",
+            "flow-shape-mismatch",
+            "array shape contradicts an @array_contract",
+            "the caller's inferred symbolic shape definitely mismatches the "
+            "contract; fix the argument order/size or correct the contract",
+        ),
+        Check(
+            "RV602",
+            "flow-dtype-drift",
+            "silent dtype promotion or downcast on an energy path",
+            "Born/E_pol values are float64 end to end; remove the float32 "
+            "operand (or the float64->float32 cast) or take the value off "
+            "the energy path",
+        ),
+        Check(
+            "RV603",
+            "flow-view-published",
+            "view-aliased array where a C-contiguous owner is required",
+            "SharedArrayBundle.create would silently copy a view into the "
+            "segment; materialise with np.ascontiguousarray (or pass the "
+            "owning array) so writes reach the shared memory",
+        ),
+        Check(
+            "RV604",
+            "flow-index-width",
+            "int32 index array gathers into a 64-bit CSR/key array",
+            "CSR indices and Hilbert keys are 64-bit end to end; cast the "
+            "index to int64 at the seam (int32 truncates past 2^31)",
+        ),
+        Check(
+            "RV605",
+            "flow-uncontracted-boundary",
+            "array crosses a process/shm/cluster boundary without a contract",
+            "stamp the publishing/boundary function with @array_contract "
+            "covering every payload key so repro-flow can check the hop",
+        ),
     )
 }
 
@@ -182,7 +228,8 @@ CHECK_FAMILIES: dict[str, tuple[str, ...]] = {
     "shm": ("RV201", "RV202", "RV203", "RV204", "RV205", "RV206"),
     "collectives": ("RV301", "RV302"),
     "model": ("RV401", "RV402", "RV403", "RV404", "RV405", "RV406"),
-    "disjoint": ("RV501", "RV502", "RV503"),
+    "disjoint": ("RV501", "RV502", "RV503", "RV504"),
+    "flow": ("RV601", "RV602", "RV603", "RV604", "RV605"),
 }
 
 _SLUG_TO_ID = {c.slug: c.id for c in CHECKS.values()}

@@ -22,11 +22,13 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..analysis_static.flow.contracts import array_contract
 from ..octree.partition import (coarsen_keys, segment_by_key_range,
                                 segment_by_weight)
 from ..plan import InteractionPlan
 
 
+@array_contract(returns="(nrows,) uint64 C")
 def plan_row_keys(plan: InteractionPlan, tree) -> np.ndarray | None:
     """Per-plan-row SFC key: the target leaf's curve key, in plan row
     order (non-decreasing -- rows follow canonical leaf order).
@@ -41,6 +43,8 @@ def plan_row_keys(plan: InteractionPlan, tree) -> np.ndarray | None:
     return tree.node_key[plan.target_leaves]
 
 
+@array_contract(weights="(nrows,) float64 view-ok",
+                keys="(nrows,) uint64 view-ok")
 def donation_bounds(weights: np.ndarray, keys: np.ndarray | None,
                     nparts: int) -> list[tuple[int, int]]:
     """Cut plan rows into at most ``nparts`` donated ranges.

@@ -25,6 +25,15 @@ HCT_SCALES = {"H": 0.85, "C": 0.72, "N": 0.79, "O": 0.85, "S": 0.96, "P": 0.86}
 #: OBC-II rescaling coefficients (Onufriev, Bashford & Case 2004).
 OBC_ALPHA, OBC_BETA, OBC_GAMMA = 1.0, 0.8, 4.85
 
+#: Born radii are clamped to this multiple of the largest intrinsic
+#: radius when descreening numerically overshoots (production GB codes
+#: use the same kind of floor).
+MAX_RADIUS_FACTOR = 50.0
+
+#: Sphere-volume prefactor, folded to one float64 constant so the volume
+#: kernel issues a single well-typed multiply (REP009).
+FOUR_THIRDS = 4.0 / 3.0
+
 
 def f_gb(r2: np.ndarray, born_product: np.ndarray) -> np.ndarray:
     """The STILL interaction length ``f_GB`` of Eq. 2.
@@ -119,7 +128,8 @@ def hct_born_radii(molecule: Molecule, *, cutoff: float | None = None,
         inv_R = inv_r - total
     # Descreening can numerically overshoot for tightly packed synthetic
     # inputs; clamp to the intrinsic radius floor like production GB codes.
-    inv_R = np.clip(inv_R, 1.0 / (50.0 * molecule.radii.max()), 1.0 / rho)
+    inv_R = np.clip(inv_R, 1.0 / (MAX_RADIUS_FACTOR * molecule.radii.max()),
+                    1.0 / rho)
     return 1.0 / inv_R
 
 
@@ -152,7 +162,8 @@ def obc_born_radii(molecule: Molecule, *, cutoff: float | None = None,
     inv_R = (1.0 / rho
              - np.tanh(OBC_ALPHA * psi - OBC_BETA * psi ** 2
                        + OBC_GAMMA * psi ** 3) / molecule.radii)
-    inv_R = np.clip(inv_R, 1.0 / (50.0 * molecule.radii.max()), 1.0 / rho)
+    inv_R = np.clip(inv_R, 1.0 / (MAX_RADIUS_FACTOR * molecule.radii.max()),
+                    1.0 / rho)
     return 1.0 / inv_R
 
 
@@ -178,7 +189,7 @@ def still_volume_born_radii(molecule: Molecule, *,
     pos = molecule.positions
     n = len(molecule)
     radii = molecule.radii
-    vol = 4.0 / 3.0 * np.pi * radii ** 3
+    vol = FOUR_THIRDS * np.pi * radii ** 3
     block = 256
     total = np.zeros(n)
     for s in range(0, n, block):
@@ -193,5 +204,6 @@ def still_volume_born_radii(molecule: Molecule, *,
         if counters is not None:
             counters.exact_pairs += (e - s) * n
     inv_R = 1.0 / radii - scale * total / (4.0 * np.pi)
-    inv_R = np.clip(inv_R, 1.0 / (50.0 * radii.max()), 1.0 / radii)
+    inv_R = np.clip(inv_R, 1.0 / (MAX_RADIUS_FACTOR * radii.max()),
+                    1.0 / radii)
     return 1.0 / inv_R

@@ -28,6 +28,7 @@ from typing import Any, Callable
 import numpy as np
 
 from ...analysis_static.checks import DeterminismReport, checks_enabled
+from ...analysis_static.flow.contracts import array_contract
 from ...analysis_static.ordering import CollectiveLog, diff_collective_logs
 from ...analysis_static.races import (WriteIntentTracker, find_races,
                                       intents_from_payload)
@@ -300,6 +301,16 @@ def _worker_main(rank: int, size: int, bundle_name: str, layout: dict,
 # ----------------------------------------------------------------------
 # parent side
 # ----------------------------------------------------------------------
+@array_contract(
+    positions="(natoms, 3) float64 C",
+    radii="(natoms,) float64 C",
+    charges="(natoms,) float64 C",
+    q_points="(nquad, 3) float64 C",
+    q_normals="(nquad, 3) float64 C",
+    q_weights="(nquad,) float64 C",
+    plan_born="plan",
+    plan_epol="plan",
+)
 def run_real(calc, nworkers: int, *, trace: Trace | None = None,
              start_method: str | None = None,
              timeout: float = DEFAULT_BARRIER_TIMEOUT) -> BackendRunResult:

@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..analysis_static.flow.contracts import array_contract
 from ..analysis_static.verify.annotations import declares_effects
 from ..core.born import AtomTreeData, BornPartial, QuadTreeData
 from ..core.energy import EnergyContext, EpolPartial
@@ -103,6 +104,7 @@ class _Scratch:
 
 
 @declares_effects()
+@array_contract(far="(?,) float64 view-ok", near="(?,) float64 view-ok")
 def execute_born_plan(plan: InteractionPlan, atoms: AtomTreeData,
                       quad: QuadTreeData, *,
                       row_range: tuple[int, int] | None = None,
@@ -303,6 +305,7 @@ def execute_born_plan(plan: InteractionPlan, atoms: AtomTreeData,
 
 
 @declares_effects()
+@array_contract(far_terms="(?,) float64 C", near_terms="(?,) float64 C")
 def epol_row_terms(plan: InteractionPlan, ctx: EnergyContext, *,
                    row_range: tuple[int, int] | None = None
                    ) -> tuple[np.ndarray, np.ndarray]:

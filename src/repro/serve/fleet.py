@@ -40,6 +40,7 @@ from typing import Any
 import numpy as np
 
 from ..analysis_static.checks import checks_enabled
+from ..analysis_static.flow.contracts import array_contract
 from ..analysis_static.races import (WriteIntentTracker, find_races,
                                      intents_from_payload)
 from ..core.born import AtomTreeData, QuadTreeData, push_integrals_to_atoms
@@ -133,6 +134,7 @@ def evaluate_pipeline(molecule: Molecule, atoms: AtomTreeData,
                               epsilon_solvent=params.epsilon_solvent)
 
 
+@array_contract(far="(?,) float64 C", near="(?,) float64 C")
 def execute_born_rows(entry: RegistryEntry, cfg: "EpsConfig",
                       bounds: list[tuple[int, int]]
                       ) -> list[tuple[np.ndarray, np.ndarray]]:
@@ -163,6 +165,7 @@ def execute_born_rows(entry: RegistryEntry, cfg: "EpsConfig",
     return out
 
 
+@array_contract(born_sorted="(npoints,) float64 view-ok")
 def execute_epol_rows(entry: RegistryEntry, cfg: "EpsConfig",
                       bounds: list[tuple[int, int]],
                       born_sorted: np.ndarray
@@ -301,6 +304,16 @@ class _Publication:
     mol_name: str
 
 
+@array_contract(
+    positions="(natoms, 3) float64 C",
+    radii="(natoms,) float64 C",
+    charges="(natoms,) float64 C",
+    q_points="(nquad, 3) float64 C",
+    q_normals="(nquad, 3) float64 C",
+    q_weights="(nquad,) float64 C",
+    plan_born="plan",
+    plan_epol="plan",
+)
 def _publication_arrays(entry: RegistryEntry,
                         plans: PlanSet) -> dict[str, Any]:
     surface = entry.calc.prepare_surface()
@@ -615,6 +628,11 @@ class ProcessFleet:
             raise FleetError(str(err)) from err
         return out
 
+    @array_contract(
+        born_far="(nnz_far,) float64 C",
+        born_near="(nnz_near,) float64 C",
+        born_sorted="(npoints,) float64 C",
+    )
     def run_sliced(self, req_id: int, entry: RegistryEntry,
                    cfg: EpsConfig) -> EvalResult:
         """One request fanned over every warm worker, bit-identically.

@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..analysis_static.flow.contracts import array_contract
 from ..core.binning import build_binning
 from ..core.born import AtomTreeData, BornPartial
 from ..octree.partition import segment_by_weight
@@ -46,6 +47,7 @@ def slice_bounds(weights: np.ndarray, nslices: int
     return [(int(lo), int(hi)) for lo, hi in bounds if hi > lo]
 
 
+@array_contract(returns="dims: nnz_far, nnz_near")
 def born_flat_sizes(plan: InteractionPlan) -> tuple[int, int]:
     """Total flat CSR entry counts ``(far, near)`` of a Born plan -- the
     scratch-array sizes one sliced request needs."""
@@ -53,6 +55,8 @@ def born_flat_sizes(plan: InteractionPlan) -> tuple[int, int]:
     return (int(plan.far_start[n]), int(plan.near_point_start[n]))
 
 
+@array_contract(far_flat="(nnz_far,) float64 view-ok",
+                near_flat="(nnz_near,) float64 view-ok")
 def reduce_born_flat(plan: InteractionPlan, atoms: AtomTreeData,
                      far_flat: np.ndarray, near_flat: np.ndarray
                      ) -> BornPartial:
@@ -80,6 +84,7 @@ def reduce_born_flat(plan: InteractionPlan, atoms: AtomTreeData,
     return partial
 
 
+@array_contract(born_sorted="(npoints,) float64 view-ok")
 def epol_nbins(born_sorted: np.ndarray, eps_epol: float) -> int:
     """The energy binning width for a Born-radii vector -- what
     ``row_pair_weights(nbins=...)`` needs to weigh E_pol rows without
@@ -87,6 +92,8 @@ def epol_nbins(born_sorted: np.ndarray, eps_epol: float) -> int:
     return int(build_binning(born_sorted, eps_epol).nbins)
 
 
+@array_contract(far_terms="(nrows,) float64 view-ok",
+                near_terms="(nrows,) float64 view-ok")
 def fold_pair_terms(far_terms: np.ndarray,
                     near_terms: np.ndarray) -> float:
     """The serial pair-sum fold over full-plan per-row term arrays:

@@ -120,7 +120,9 @@ def _unit_sphere_points(points_per_atom: int, method: str
         # Smallest subdivision level whose Dunavant point count reaches the
         # requested density.
         level = 0
-        while 20 * 4 ** level * 3 < points_per_atom and level < 6:
+        # 20 faces x 4^level subdivisions x 3 quadrature points: pure-int
+        # mesh bookkeeping, no array dtype in play (REP009 exemption).
+        while 20 * 4 ** level * 3 < points_per_atom and level < 6:  # repro-lint: disable=REP009
             level += 1
         mesh = icosphere(level)
         # Projection rescales the weights to the exact sphere area 4*pi.

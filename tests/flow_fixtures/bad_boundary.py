@@ -1,0 +1,14 @@
+"""RV605 seeded mutation: an uncontracted donation boundary crossing.
+
+``donation_bounds`` is a boundary callee (arrays cross the cluster
+donation seam through it); defining it without an ``@array_contract``
+stamp and calling it must be reported.
+"""
+
+
+def donation_bounds(weights, keys, nparts):
+    return [(0, len(weights))]
+
+
+def route(weights):
+    return donation_bounds(weights, None, 2)  # uncontracted (RV605)

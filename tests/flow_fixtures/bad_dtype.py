@@ -1,0 +1,20 @@
+# repro-verify: policy=energy-path
+"""RV602 seeded mutation: float32 drift on an energy path.
+
+The module opts into the energy path via the policy comment above; the
+repo's real energy modules are covered by the pure-module policy or the
+``ENERGY_PATH_SUFFIXES`` list instead.
+"""
+
+import numpy as np
+
+
+def fold_terms():
+    far = np.zeros(8, dtype=np.float64)
+    scale = np.ones(8, dtype=np.float32)
+    return far * scale  # silent float32 promotion (RV602)
+
+
+def downcast():
+    acc = np.zeros(4, dtype=np.float64)
+    return acc.astype(np.float32)  # float64 -> float32 downcast (RV602)

@@ -1,0 +1,13 @@
+"""RV604 seeded mutation: int32 indices gather a 64-bit key array.
+
+The Hilbert-key / CSR seam is int64-or-wider end to end; an int32 index
+vector silently truncates past 2^31 entries.
+"""
+
+import numpy as np
+
+
+def gather_keys():
+    keys = np.zeros(16, dtype=np.uint64)
+    idx = np.zeros(4, dtype=np.int32)
+    return keys[idx]  # int32 gather into uint64 keys (RV604)

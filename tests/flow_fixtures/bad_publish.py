@@ -1,0 +1,15 @@
+"""RV603 seeded mutation: a slice view published to the shared segment.
+
+``SharedArrayBundle.create`` copies its payload into shared memory via
+``ascontiguousarray``; publishing a view means later writes through the
+original buffer silently never reach the segment.
+"""
+
+from repro.analysis_static.flow.contracts import array_contract
+from repro.parallel.procpool.shm import SharedArrayBundle
+
+
+@array_contract(payload="(npoints,) float64 C")
+def publish(payload):
+    head = payload[0:4]  # a view of the contracted buffer
+    return SharedArrayBundle.create({"payload": head})  # RV603

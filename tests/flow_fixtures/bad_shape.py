@@ -1,0 +1,28 @@
+"""RV601 seeded mutation: far/near arguments swapped at a contracted call.
+
+``flat_sizes`` binds the ``nnz_far``/``nnz_near`` dimension symbols at
+the call site; the caller then builds arrays of those symbolic lengths
+and hands them to ``reduce_flat`` in the wrong order -- a definite
+symbolic-shape contradiction the interpreter must report.
+"""
+
+import numpy as np
+
+from repro.analysis_static.flow.contracts import array_contract
+
+
+@array_contract(returns="dims: nnz_far, nnz_near")
+def flat_sizes():
+    return 3, 5
+
+
+@array_contract(far="(nnz_far,) float64 C", near="(nnz_near,) float64 C")
+def reduce_flat(far, near):
+    return float(far.sum() + near.sum())
+
+
+def caller():
+    nnz_far, nnz_near = flat_sizes()
+    far = np.zeros(nnz_far)
+    near = np.zeros(nnz_near)
+    return reduce_flat(near, far)  # swapped: shape mismatch (RV601)

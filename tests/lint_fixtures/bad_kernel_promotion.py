@@ -1,0 +1,36 @@
+# repro-lint: roles=kernel
+"""REP009 bad example: bare numeric-literal chains in kernel arithmetic.
+
+``x * 1 / 3`` evaluates ``(x * 1) / 3`` one scalar op at a time, and
+NumPy re-applies its promotion rules to each intermediate -- the
+intermediate's dtype, not the kernel author, decides the result type.
+The fix is to fold the literals into one named float64 constant.
+"""
+
+import numpy as np
+
+THIRD = 1.0 / 3.0  # all-literal fold: the sanctioned spelling
+
+
+def smeared_volume(r):
+    # BAD: two bare literals chained through * and / with an array.
+    return r ** 3 * 4.0 / 3.0 * np.pi
+
+
+def average_of_pair(a, b):
+    # BAD: the classic `x * 1 / 2` promotion chain.
+    return (a + b) * 1 / 2
+
+
+def scaled(r):
+    # OK: a single literal is one well-typed scalar op.
+    return 2.0 * r
+
+
+def folded(r):
+    # OK: literals folded into the named constant first.
+    return THIRD * r
+
+
+def suppressed(r):
+    return r * 1 / 3  # repro-lint: disable=REP009 -- exercised by tests

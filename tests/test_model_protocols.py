@@ -292,16 +292,37 @@ class TestSeededMutations:
                    and "not a plain `int(A[row])` read" in m
                    for m in found.get("RV502", []))
 
+    def test_widened_donation_filter_refutes_the_cover_lemma(self, tmp_path):
+        # `hi >= lo` keeps empty ranges: still a cover, but donees get
+        # zero-row assignments the router protocol never acknowledges.
+        mutated = _mutate(
+            tmp_path, SRC / "cluster" / "donate.py",
+            "if hi > lo", "if hi >= lo")
+        found = _findings(mutated, ["RV504"])
+        assert any("donation:bounds-filter" in m
+                   and "empty-range filter" in m
+                   for m in found.get("RV504", []))
+
+    def test_unsnapped_key_cut_refutes_the_cover_lemma(self, tmp_path):
+        mutated = _mutate(
+            tmp_path, SRC / "octree" / "partition.py",
+            "bounds[-1] = (bounds[-1][0], n)", "pass")
+        found = _findings(mutated, ["RV504"])
+        assert any("donation:key-range-chain" in m
+                   and "final cut is not re-forced to n" in m
+                   for m in found.get("RV504", []))
+
     def test_unmutated_copies_stay_clean(self, tmp_path):
         # The tmp-copy harness itself must not manufacture findings.
         for rel in ("serve/scheduler.py", "serve/client.py",
                     "serve/fleet.py", "octree/partition.py",
+                    "cluster/donate.py",
                     "parallel/procpool/pool.py"):
             shutil.copy(SRC / rel, tmp_path / Path(rel).name)
         result = run_verify(
             [tmp_path],
             checks=["RV401", "RV402", "RV403", "RV404", "RV405",
-                    "RV501", "RV502", "RV503"])
+                    "RV501", "RV502", "RV503", "RV504"])
         assert result.active == [], [f.message for f in result.active]
 
 
@@ -311,7 +332,7 @@ class TestSeededMutations:
 class TestStaticDynamicAgreement:
     def test_all_disjointness_lemmas_hold_on_shipped_sources(self):
         steps = prove(Program.load([SRC]))
-        assert len(steps) == 6
+        assert len(steps) == 8
         assert all(s.ok for s in steps), [
             (s.name, s.detail) for s in steps if not s.ok]
 

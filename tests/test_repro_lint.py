@@ -31,6 +31,7 @@ EXPECTED = {
     "REP006": FIXTURES / "bad_rep006.py",
     "REP007": FIXTURES / "bad_rep007.py",
     "REP008": FIXTURES / "bad_service_block.py",
+    "REP009": FIXTURES / "bad_kernel_promotion.py",
 }
 
 
@@ -42,9 +43,10 @@ def run_cli(*args: str) -> subprocess.CompletedProcess:
 
 
 class TestRuleCatalogue:
-    def test_eight_rules_shipped(self):
+    def test_nine_rules_shipped(self):
         assert sorted(RULES) == ["REP001", "REP002", "REP003", "REP004",
-                                 "REP005", "REP006", "REP007", "REP008"]
+                                 "REP005", "REP006", "REP007", "REP008",
+                                 "REP009"]
 
     def test_every_rule_has_a_hint(self):
         for rule in RULES.values():
@@ -227,6 +229,36 @@ class TestRep007:
                "c = draw()\n")
         rules = [f.rule for f in lint_source(src, "src/repro/core/x.py")]
         assert rules == ["REP007", "REP007"]  # mk(123) is seeded
+
+
+class TestRep009:
+    def test_literal_chain_flagged_in_kernel(self):
+        src = "def f(x):\n    return x * 1 / 3\n"
+        assert [f.rule for f in
+                lint_source(src, "src/repro/core/energy.py")] == ["REP009"]
+        assert [f.rule for f in
+                lint_source(src, "src/repro/plan/executor.py")] == ["REP009"]
+
+    def test_single_literal_and_folded_constant_pass(self):
+        src = ("THIRD = 1.0 / 3.0\n"
+               "def f(x):\n"
+               "    return 2.0 * x + THIRD * x\n")
+        assert lint_source(src, "src/repro/core/energy.py") == []
+
+    def test_scoped_to_kernel_and_executor_roles(self):
+        src = "def f(x):\n    return x * 1 / 3\n"
+        # octree/ is numeric but neither kernel nor executor.
+        assert lint_source(src, "src/repro/octree/build.py") == []
+
+    def test_per_line_suppression(self):
+        src = ("def f(x):\n"
+               "    return x * 1 / 3  # repro-lint: disable=REP009\n")
+        assert lint_source(src, "src/repro/core/energy.py") == []
+
+    def test_chain_root_reported_once(self):
+        src = "def f(x):\n    return x * 1 / 3 * 4 / 5\n"
+        findings = lint_source(src, "src/repro/core/energy.py")
+        assert [f.rule for f in findings] == ["REP009"]
 
 
 class TestCLI:
